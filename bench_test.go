@@ -1,0 +1,394 @@
+package sharqfec
+
+// Benchmark harness: one benchmark per table/figure in the paper's
+// evaluation (see DESIGN.md's experiment index). Each figure benchmark
+// regenerates the series the paper plots and reports the headline
+// numbers as custom metrics, so `go test -bench` doubles as the
+// reproduction harness. Absolute wall-clock numbers measure the
+// simulator, not the protocols; the protocol comparison lives in the
+// reported metrics.
+
+import (
+	"fmt"
+	"testing"
+
+	"sharqfec/internal/analysis"
+	"sharqfec/internal/eventq"
+	"sharqfec/internal/fec"
+	"sharqfec/internal/packet"
+	"sharqfec/internal/topology"
+)
+
+// --- E1: Figure 1 (analytic non-scoped FEC example) ---
+
+func BenchmarkFig01NonScopedFEC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := analysis.NewFigure1Tree()
+		vol := t.NonScopedFECVolume()
+		b.ReportMetric(100*t.AllReceiveProbability(), "prAllReceive_%")
+		b.ReportMetric(100*t.WorstReceiverLoss(), "worstLoss_%")
+		b.ReportMetric(vol[0], "sourceVolume")
+	}
+}
+
+// --- E2: Figure 8 (analytic national hierarchy table) ---
+
+func BenchmarkFig08NationalHierarchy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := analysis.Figure8Table(topology.PaperNational())
+		b.ReportMetric(float64(rows[3].RTTsMaintained), "suburbRTTs")
+		b.ReportMetric(rows[3].StateReductionInv, "stateReduction_x")
+	}
+}
+
+// --- E3: §6.1 ZCR elections on chain / fork / figure-10 ---
+
+func BenchmarkZCRElection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		correct := 0
+		for _, top := range []*Topology{
+			ChainTopology(6, 0),
+			StarTopology(5, 0),
+			TreeTopology([]int{3, 2}, 0),
+			Figure10Topology(),
+		} {
+			res, err := RunZCRElection(top, 9, 30)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Correct {
+				correct++
+			}
+		}
+		b.ReportMetric(float64(correct), "topologiesCorrect/4")
+	}
+}
+
+// --- E4: Figures 11–13 (indirect RTT estimation accuracy) ---
+
+func benchRTT(b *testing.B, sender int) {
+	for i := 0; i < b.N; i++ {
+		res, err := RunRTT(RTTConfig{Sender: sender, Seed: 11, Probes: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.FinalFractionWithin(0.10), "within10pct_%")
+		b.ReportMetric(res.MedianRatio(len(res.Ratios)-1), "medianRatio")
+		b.ReportMetric(float64(res.Able[len(res.Able)-1]), "estimators")
+	}
+}
+
+func BenchmarkFig11RTTRatioReceiver3(b *testing.B)  { benchRTT(b, 3) }
+func BenchmarkFig12RTTRatioReceiver25(b *testing.B) { benchRTT(b, 25) }
+func BenchmarkFig13RTTRatioReceiver36(b *testing.B) { benchRTT(b, 36) }
+
+// paperRun runs the full §6.2 scenario for one protocol.
+func paperRun(b *testing.B, p Protocol, seed uint64) *DataResult {
+	b.Helper()
+	res, err := RunData(DataConfig{Protocol: p, Seed: seed})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// tail sums a series over the repair-dominated window after the source
+// stops (t in [16.3, 30)).
+func tail(s Series) float64 { return s.Window(16.3, 30) }
+
+// --- E5/E6: Figures 14–15 (SRM vs ECSRM) ---
+
+func BenchmarkFig14DataRepairSRMvsECSRM(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		srmRes := paperRun(b, SRM, 21)
+		ecsrm := paperRun(b, ECSRM, 21)
+		// The hybrid baseline needs less total data+repair volume per
+		// receiver and a smaller repair tail than pure ARQ.
+		b.ReportMetric(srmRes.AvgDataRepair.Sum(), "srmPkts/rcvr")
+		b.ReportMetric(ecsrm.AvgDataRepair.Sum(), "ecsrmPkts/rcvr")
+		b.ReportMetric(tail(srmRes.AvgDataRepair), "srmRepairTail")
+		b.ReportMetric(tail(ecsrm.AvgDataRepair), "ecsrmRepairTail")
+	}
+}
+
+func BenchmarkFig15NACKsSRMvsECSRM(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		srmRes := paperRun(b, SRM, 22)
+		ecsrm := paperRun(b, ECSRM, 22)
+		b.ReportMetric(srmRes.AvgNACKs.Sum(), "srmNACKs/rcvr")
+		b.ReportMetric(ecsrm.AvgNACKs.Sum(), "ecsrmNACKs/rcvr")
+	}
+}
+
+// --- E7: Figure 16 (SHARQFEC(ns,ni) vs SHARQFEC(ns)) ---
+
+func BenchmarkFig16MultiRepairerVsSourceInjection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		nsni := paperRun(b, SHARQFECNoScopeNoInject, 23)
+		ns := paperRun(b, SHARQFECNoScope, 23)
+		b.ReportMetric(nsni.AvgDataRepair.Sum(), "nsNiPkts/rcvr")
+		b.ReportMetric(ns.AvgDataRepair.Sum(), "nsPkts/rcvr")
+		b.ReportMetric(float64(ns.RepairsInjected), "nsInjected")
+	}
+}
+
+// --- E8: Figure 17 (ECSRM vs full SHARQFEC) ---
+
+func BenchmarkFig17ScopingImprovesSuppression(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ecsrm := paperRun(b, ECSRM, 24)
+		full := paperRun(b, SHARQFEC, 24)
+		eMax, _ := ecsrm.AvgDataRepair.Max()
+		fMax, _ := full.AvgDataRepair.Max()
+		b.ReportMetric(ecsrm.AvgDataRepair.Sum(), "ecsrmPkts/rcvr")
+		b.ReportMetric(full.AvgDataRepair.Sum(), "sharqfecPkts/rcvr")
+		b.ReportMetric(eMax, "ecsrmPeakBin")
+		b.ReportMetric(fMax, "sharqfecPeakBin")
+	}
+}
+
+// --- E9: Figure 18 (SHARQFEC(ni) vs SHARQFEC: injection is free) ---
+
+func BenchmarkFig18InjectionAddsNoBandwidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ni := paperRun(b, SHARQFECNoInject, 25)
+		full := paperRun(b, SHARQFEC, 25)
+		b.ReportMetric(ni.AvgDataRepair.Sum(), "niPkts/rcvr")
+		b.ReportMetric(full.AvgDataRepair.Sum(), "fullPkts/rcvr")
+	}
+}
+
+// --- E10: Figure 19 (NACKs: ECSRM vs full SHARQFEC) ---
+
+func BenchmarkFig19NACKSuppression(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ecsrm := paperRun(b, ECSRM, 26)
+		full := paperRun(b, SHARQFEC, 26)
+		b.ReportMetric(ecsrm.AvgNACKs.Sum(), "ecsrmNACKs/rcvr")
+		b.ReportMetric(full.AvgNACKs.Sum(), "sharqfecNACKs/rcvr")
+	}
+}
+
+// --- E11/E12: Figures 20–21 (traffic seen by the source) ---
+
+func BenchmarkFig20SourceDataRepair(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ecsrm := paperRun(b, ECSRM, 27)
+		full := paperRun(b, SHARQFEC, 27)
+		b.ReportMetric(ecsrm.SourceDataRepair.Sum(), "ecsrmSrcPkts")
+		b.ReportMetric(full.SourceDataRepair.Sum(), "sharqfecSrcPkts")
+	}
+}
+
+func BenchmarkFig21SourceNACKs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ecsrm := paperRun(b, ECSRM, 28)
+		full := paperRun(b, SHARQFEC, 28)
+		b.ReportMetric(ecsrm.SourceNACKs.Sum(), "ecsrmSrcNACKs")
+		b.ReportMetric(full.SourceNACKs.Sum(), "sharqfecSrcNACKs")
+	}
+}
+
+// --- E13: §5.1 session traffic/state scaling ---
+
+func BenchmarkSessionScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := RunSessionScaling(NationalTopology(3, 3, 3, 5), 29, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Reduction, "trafficReduction_x")
+		b.ReportMetric(float64(res.ScopedMaxState), "scopedMaxState")
+		b.ReportMetric(float64(res.FlatStatePerNode), "flatState")
+	}
+}
+
+// --- Ablation: timer-constant sensitivity (paper §7 future work) ---
+
+func BenchmarkTimerSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := RunTimerSweep(30, []float64{0.5, 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(pts[0].NACKs), "nacksAtHalf")
+		b.ReportMetric(float64(pts[1].NACKs), "nacksAtDouble")
+		b.ReportMetric(pts[0].MeanRecovery, "recoveryAtHalf_s")
+		b.ReportMetric(pts[1].MeanRecovery, "recoveryAtDouble_s")
+	}
+}
+
+// --- Extensions: robustness and §7 future-work features ---
+
+func BenchmarkZCRFailover(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := RunZCRFailover(31)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.SurvivorCompletion, "survivorCompl_%")
+		b.ReportMetric(100*res.ZoneCompletion, "zoneCompl_%")
+	}
+}
+
+func BenchmarkLateJoin(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := RunLateJoin(32, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.Completion, "completion_%")
+		b.ReportMetric(100*res.LocalRepairFrac, "localRepairs_%")
+		b.ReportMetric(res.CatchUpSeconds, "catchUp_s")
+	}
+}
+
+func BenchmarkReceiverReports(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := RunReceiverReports(33)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.SourceWorstLoss, "aggWorstLoss_%")
+		b.ReportMetric(100*res.TrueWorstLoss, "trueWorstLoss_%")
+		b.ReportMetric(float64(res.DirectReporters), "directReporters")
+	}
+}
+
+// --- Substrate microbenchmarks ---
+
+func BenchmarkFECEncode(b *testing.B) {
+	codec, err := fec.NewCodec(16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([][]byte, 16)
+	for i := range data {
+		data[i] = make([]byte, 1000)
+		for j := range data[i] {
+			data[i][j] = byte(i * j)
+		}
+	}
+	b.SetBytes(16 * 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := codec.Repairs(data, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFECDecode(b *testing.B) {
+	codec, err := fec.NewCodec(16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([][]byte, 16)
+	for i := range data {
+		data[i] = make([]byte, 1000)
+		for j := range data[i] {
+			data[i][j] = byte(i + j)
+		}
+	}
+	repairs, err := codec.Repairs(data, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// 4 data shares lost, recovered from 12 data + 4 repairs.
+	shares := make([]fec.Share, 0, 16)
+	for i := 4; i < 16; i++ {
+		shares = append(shares, fec.Share{Index: i, Data: data[i]})
+	}
+	shares = append(shares, repairs...)
+	b.SetBytes(16 * 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := codec.Decode(shares); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPacketCodecData(b *testing.B) {
+	p := &packet.Data{Origin: 3, Seq: 100, Group: 6, Index: 4, GroupK: 16, Payload: make([]byte, 983)}
+	b.SetBytes(1000)
+	for i := 0; i < b.N; i++ {
+		buf, err := p.MarshalBinary()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := packet.Unmarshal(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPacketCodecSession(b *testing.B) {
+	p := &packet.Session{Origin: 1, Zone: 2, SentAt: 9.5, ZCR: 4}
+	for i := 0; i < 20; i++ {
+		p.Entries = append(p.Entries, packet.SessionEntry{Peer: topology.NodeID(i), SinceHeard: 0.5, RTT: 0.04, Echo: 9})
+	}
+	for i := 0; i < b.N; i++ {
+		buf, err := p.MarshalBinary()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := packet.Unmarshal(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEventQueue(b *testing.B) {
+	var q eventq.Queue
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.At(eventq.Time(i%1000), func(eventq.Time) {})
+		if i%1000 == 999 {
+			q.Run()
+		}
+	}
+	q.Run()
+}
+
+// --- Extension: adaptive suppression timers (§7) ---
+
+func BenchmarkAdaptiveTimers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fixed := paperRun(b, SHARQFEC, 34)
+		adaptive := paperRun(b, SHARQFECAdaptive, 34)
+		b.ReportMetric(float64(fixed.NACKsSent), "fixedNACKs")
+		b.ReportMetric(float64(adaptive.NACKsSent), "adaptiveNACKs")
+		b.ReportMetric(100*adaptive.CompletionRate, "adaptiveCompl_%")
+	}
+}
+
+// --- Ablation: FEC group size (k) ---
+
+func BenchmarkGroupSizeAblation(b *testing.B) {
+	// The paper fixes k=16; sweep k to expose the trade-off between
+	// repair granularity (small k: more groups, finer repair targeting)
+	// and FEC efficiency (large k: one share repairs more loss
+	// patterns).
+	for _, k := range []int{8, 16, 32} {
+		k := k
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := RunData(DataConfig{
+					Protocol:   SHARQFEC,
+					Topology:   ChainTopology(6, 0.12),
+					Seed:       35,
+					NumPackets: 512,
+					Until:      60,
+					GroupK:     k,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.AvgDataRepair.Sum(), "pkts/rcvr")
+				b.ReportMetric(float64(res.NACKsSent), "nacks")
+				b.ReportMetric(100*res.CompletionRate, "completion_%")
+			}
+		})
+	}
+}

@@ -1,0 +1,276 @@
+// Command sharqfec-figures regenerates the paper's evaluation artifacts:
+// every figure and table from SIGCOMM '98 "Scoped Hybrid Automatic
+// Repeat reQuest with Forward Error Correction (SHARQFEC)".
+//
+// Usage:
+//
+//	sharqfec-figures [-fig ID] [-seed N] [-series]
+//
+// IDs: 1, 8, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, zcr, session,
+// plus the extensions sweep, failover, latejoin, reports, cascade, or
+// "all" (default). See DESIGN.md's experiment index for what each
+// regenerates.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"sharqfec"
+)
+
+var (
+	seed   = flag.Uint64("seed", 1998, "RNG seed")
+	series = flag.Bool("series", false, "print full per-0.1s series for traffic figures")
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sharqfec-figures: ")
+	fig := flag.String("fig", "all", "figure/table to regenerate")
+	flag.Parse()
+
+	figures := map[string]func() error{
+		"1":        fig1,
+		"8":        fig8,
+		"11":       func() error { return figRTT(11, 3) },
+		"12":       func() error { return figRTT(12, 25) },
+		"13":       func() error { return figRTT(13, 36) },
+		"14":       fig14,
+		"15":       fig15,
+		"16":       fig16,
+		"17":       fig17,
+		"18":       fig18,
+		"19":       fig19,
+		"20":       fig20,
+		"21":       fig21,
+		"zcr":      figZCR,
+		"session":  figSession,
+		"sweep":    figSweep,
+		"failover": figFailover,
+		"latejoin": figLateJoin,
+		"reports":  figReports,
+		"cascade":  figCascade,
+	}
+	order := []string{"1", "8", "zcr", "11", "12", "13", "14", "15", "16", "17", "18", "19", "20", "21", "session", "sweep", "failover", "latejoin", "reports", "cascade"}
+
+	if *fig == "all" {
+		for _, id := range order {
+			if err := figures[id](); err != nil {
+				log.Fatalf("figure %s: %v", id, err)
+			}
+		}
+		return
+	}
+	fn, ok := figures[*fig]
+	if !ok {
+		log.Printf("unknown figure %q; known: %v", *fig, order)
+		os.Exit(2)
+	}
+	if err := fn(); err != nil {
+		log.Fatalf("figure %s: %v", *fig, err)
+	}
+}
+
+func header(title string) {
+	fmt.Printf("\n==== %s ====\n", title)
+}
+
+func fig1() error {
+	header("Figure 1 — non-scoped FEC example tree (analytic)")
+	fmt.Print(sharqfec.Figure1Report())
+	return nil
+}
+
+func fig8() error {
+	header("Figure 8 — national hierarchy state reduction (analytic)")
+	fmt.Print(sharqfec.Figure8Report())
+	return nil
+}
+
+func figRTT(figNo, sender int) error {
+	header(fmt.Sprintf("Figure %d — estimated/actual RTT ratio, NACKs from receiver %d", figNo, sender))
+	res, err := sharqfec.RunRTT(sharqfec.RTTConfig{Sender: sender, Seed: *seed, Probes: 10})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("probe  estimators  medianRatio\n")
+	for p := range res.Ratios {
+		fmt.Printf("%5d  %10d  %11.3f\n", p+1, res.Able[p], res.MedianRatio(p))
+	}
+	fmt.Printf("final: %.0f%% of estimates within 10%% of truth, %.0f%% within 25%% (paper: >50%% within a few %%)\n",
+		100*res.FinalFractionWithin(0.10), 100*res.FinalFractionWithin(0.25))
+	return nil
+}
+
+// compare runs two protocols on the paper scenario and prints the series
+// the figure plots.
+func compare(title string, a, b sharqfec.Protocol, pick func(*sharqfec.DataResult) sharqfec.Series, unit string) error {
+	header(title)
+	ra, err := sharqfec.RunData(sharqfec.DataConfig{Protocol: a, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	rb, err := sharqfec.RunData(sharqfec.DataConfig{Protocol: b, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	sa, sb := pick(ra), pick(rb)
+	fmt.Printf("%-28s total=%8.1f peak=%6.1f  completion=%.2f%%\n", a, sa.Sum(), peak(sa), 100*ra.CompletionRate)
+	fmt.Printf("%-28s total=%8.1f peak=%6.1f  completion=%.2f%%\n", b, sb.Sum(), peak(sb), 100*rb.CompletionRate)
+	if *series {
+		fmt.Printf("# t(s)\t%s[%s]\t%s[%s]\n", a, unit, b, unit)
+		n := len(sa.Bins)
+		if len(sb.Bins) > n {
+			n = len(sb.Bins)
+		}
+		for i := 0; i < n; i++ {
+			fmt.Printf("%.1f\t%.3f\t%.3f\n", float64(i)*sa.BinWidth, bin(sa, i), bin(sb, i))
+		}
+	}
+	return nil
+}
+
+func peak(s sharqfec.Series) float64 { v, _ := s.Max(); return v }
+
+func bin(s sharqfec.Series, i int) float64 {
+	if i < len(s.Bins) {
+		return s.Bins[i]
+	}
+	return 0
+}
+
+func avgDataRepair(r *sharqfec.DataResult) sharqfec.Series { return r.AvgDataRepair }
+func avgNACKs(r *sharqfec.DataResult) sharqfec.Series      { return r.AvgNACKs }
+func srcDataRepair(r *sharqfec.DataResult) sharqfec.Series { return r.SourceDataRepair }
+func srcNACKs(r *sharqfec.DataResult) sharqfec.Series      { return r.SourceNACKs }
+
+func fig14() error {
+	return compare("Figure 14 — data+repair per receiver: SRM vs SHARQFEC(ns,ni,so)/ECSRM",
+		sharqfec.SRM, sharqfec.ECSRM, avgDataRepair, "pkts/rcvr/0.1s")
+}
+
+func fig15() error {
+	return compare("Figure 15 — NACKs per receiver: SRM vs SHARQFEC(ns,ni,so)/ECSRM",
+		sharqfec.SRM, sharqfec.ECSRM, avgNACKs, "nacks/rcvr/0.1s")
+}
+
+func fig16() error {
+	return compare("Figure 16 — data+repair: SHARQFEC(ns,ni) vs SHARQFEC(ns)",
+		sharqfec.SHARQFECNoScopeNoInject, sharqfec.SHARQFECNoScope, avgDataRepair, "pkts/rcvr/0.1s")
+}
+
+func fig17() error {
+	return compare("Figure 17 — data+repair: SHARQFEC(ns,ni,so) vs full SHARQFEC",
+		sharqfec.ECSRM, sharqfec.SHARQFEC, avgDataRepair, "pkts/rcvr/0.1s")
+}
+
+func fig18() error {
+	return compare("Figure 18 — data+repair: SHARQFEC(ni) vs SHARQFEC (injection is free)",
+		sharqfec.SHARQFECNoInject, sharqfec.SHARQFEC, avgDataRepair, "pkts/rcvr/0.1s")
+}
+
+func fig19() error {
+	return compare("Figure 19 — NACKs: SHARQFEC(ns,ni,so) vs full SHARQFEC",
+		sharqfec.ECSRM, sharqfec.SHARQFEC, avgNACKs, "nacks/rcvr/0.1s")
+}
+
+func fig20() error {
+	return compare("Figure 20 — data+repair seen by the source: ECSRM vs SHARQFEC",
+		sharqfec.ECSRM, sharqfec.SHARQFEC, srcDataRepair, "pkts/0.1s")
+}
+
+func fig21() error {
+	return compare("Figure 21 — NACKs seen by the source: ECSRM vs SHARQFEC",
+		sharqfec.ECSRM, sharqfec.SHARQFEC, srcNACKs, "nacks/0.1s")
+}
+
+func figZCR() error {
+	header("§6.1 — ZCR elections (chain / fork / tree / figure-10)")
+	for _, c := range []struct {
+		name string
+		top  *sharqfec.Topology
+	}{
+		{"chain-6", sharqfec.ChainTopology(6, 0)},
+		{"star-5", sharqfec.StarTopology(5, 0)},
+		{"tree-3x2", sharqfec.TreeTopology([]int{3, 2}, 0)},
+		{"figure10", sharqfec.Figure10Topology()},
+	} {
+		res, err := sharqfec.RunZCRElection(c.top, *seed, 30)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-10s zones=%2d  correct=%v  takeovers=%d\n",
+			c.name, len(res.PerZone), res.Correct, res.Takeovers)
+	}
+	return nil
+}
+
+func figSweep() error {
+	header("§7 — suppression-timer constant sweep (extension)")
+	pts, err := sharqfec.RunTimerSweep(*seed, []float64{0.5, 1, 2, 4})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%6s %8s %8s %10s %12s %11s\n", "mult", "NACKs", "repairs", "dupShares", "meanRecov(s)", "completion")
+	for _, p := range pts {
+		fmt.Printf("%6.1f %8d %8d %10d %12.3f %10.1f%%\n",
+			p.Multiplier, p.NACKs, p.Repairs, p.DupShares, p.MeanRecovery, 100*p.Completion)
+	}
+	fmt.Println("wider windows suppress more duplicates; narrower windows recover faster")
+	return nil
+}
+
+func figFailover() error {
+	header("§3.2/§5.2 — ZCR failure robustness (extension)")
+	res, err := sharqfec.RunZCRFailover(*seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res)
+	return nil
+}
+
+func figLateJoin() error {
+	header("§7 — localized late-join recovery (extension)")
+	res, err := sharqfec.RunLateJoin(*seed, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res)
+	return nil
+}
+
+func figReports() error {
+	header("§7 — hierarchical receiver-report aggregation (extension)")
+	res, err := sharqfec.RunReceiverReports(*seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("source's aggregated worst loss %.1f%% (true worst %.1f%%), covering %d/%d receivers\n",
+		100*res.SourceWorstLoss, 100*res.TrueWorstLoss, res.SourceMembers, res.Receivers)
+	fmt.Printf("direct reporters heard by the source: %d (vs %d receivers without aggregation)\n",
+		res.DirectReporters, res.Receivers)
+	return nil
+}
+
+func figCascade() error {
+	header("Figure 2 — analytic redundancy cascade (extension)")
+	fmt.Print(sharqfec.CascadeReport())
+	return nil
+}
+
+func figSession() error {
+	header("§5.1 — scoped vs flat session traffic (measured, scaled national hierarchy)")
+	res, err := sharqfec.RunSessionScaling(sharqfec.NationalTopology(3, 3, 3, 5), *seed, 10)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("members=%d  scoped=%d deliveries  flat=%d deliveries  reduction=%.1fx\n",
+		res.Members, res.ScopedDeliveries, res.FlatDeliveries, res.Reduction)
+	fmt.Printf("state: scoped max %d peers/node vs flat %d peers/node\n",
+		res.ScopedMaxState, res.FlatStatePerNode)
+	return nil
+}

@@ -1,0 +1,283 @@
+package sharqfec
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"sharqfec/internal/core"
+	"sharqfec/internal/eventq"
+	"sharqfec/internal/netsim"
+	"sharqfec/internal/scoping"
+	"sharqfec/internal/simrand"
+	"sharqfec/internal/srm"
+	"sharqfec/internal/stats"
+	"sharqfec/internal/topology"
+)
+
+// DataConfig parameterizes a §6.2 data/repair-traffic experiment.
+// The zero value (with a Protocol) reproduces the paper's scenario on
+// the Figure-10 topology: join at t=1 s, source on at t=6 s, 1024
+// thousand-byte packets at 800 kbit/s in groups of 16, measured in
+// 0.1 s bins.
+type DataConfig struct {
+	Protocol Protocol
+	// Topology defaults to Figure10Topology().
+	Topology *Topology
+	Seed     uint64
+	// NumPackets defaults to 1024 (must be a multiple of GroupK).
+	NumPackets int
+	// GroupK overrides the FEC group size (default 16, the paper's).
+	// SRM ignores it (no grouping).
+	GroupK int
+	// BinWidth defaults to the paper's 0.1 s measurement interval.
+	BinWidth float64
+	// JoinAt / SourceOnAt / Until default to 1 s / 6 s / 30 s.
+	JoinAt, SourceOnAt, Until float64
+	// Verify checks every completed group's payloads against the
+	// source (defaults true via RunData).
+	SkipVerify bool
+	// TraceWriter, when set, receives an ns-style packet-event trace
+	// ("+" transmissions, "r" deliveries) for the whole run.
+	TraceWriter io.Writer
+	// QueueLimit bounds each link direction's transmit queue (packets);
+	// overflowing packets are tail-dropped (congestion loss, the
+	// paper's stated cause of loss). 0 = unbounded.
+	QueueLimit int
+}
+
+func (c *DataConfig) applyDefaults() {
+	if c.Topology == nil {
+		c.Topology = Figure10Topology()
+	}
+	if c.NumPackets == 0 {
+		c.NumPackets = 1024
+	}
+	if c.BinWidth == 0 {
+		c.BinWidth = 0.1
+	}
+	if c.JoinAt == 0 {
+		c.JoinAt = 1
+	}
+	if c.SourceOnAt == 0 {
+		c.SourceOnAt = 6
+	}
+	if c.Until == 0 {
+		c.Until = 30
+	}
+}
+
+// DataResult holds everything the paper's traffic figures plot, plus
+// recovery totals.
+type DataResult struct {
+	Protocol  Protocol
+	Topology  string
+	Receivers int
+
+	// AvgDataRepair is data+repair packets per receiver per bin
+	// (Figures 14, 16, 17, 18).
+	AvgDataRepair Series
+	// AvgNACKs is NACK packets per receiver per bin (Figures 15, 19).
+	AvgNACKs Series
+	// SourceDataRepair / SourceNACKs are the packets visible at the
+	// source (Figures 20, 21).
+	SourceDataRepair Series
+	SourceNACKs      Series
+
+	// Recovery totals.
+	NACKsSent       int
+	RepairsSent     int
+	RepairsInjected int
+	// CompletionRate is the fraction of (receiver, group) pairs fully
+	// recovered by the end of the run (SRM: packets held / expected).
+	CompletionRate float64
+	// Verified is true when every recovered payload matched the source.
+	Verified bool
+	// SessionPackets counts session-message deliveries (the §5 cost).
+	SessionPackets int
+}
+
+// RunData runs one data-delivery experiment and returns its traffic
+// series and totals.
+func RunData(cfg DataConfig) (*DataResult, error) {
+	cfg.applyDefaults()
+	if cfg.Protocol == SRM {
+		return runSRM(cfg)
+	}
+	opts, ok := cfg.Protocol.options()
+	if !ok {
+		return nil, fmt.Errorf("sharqfec: unknown protocol %q", cfg.Protocol)
+	}
+	return runSHARQFEC(cfg, opts)
+}
+
+func runSHARQFEC(cfg DataConfig, opts core.Options) (*DataResult, error) {
+	spec := cfg.Topology.spec
+	if !opts.Scoping {
+		spec = globalized(spec)
+	}
+	h, err := scoping.Build(spec.Zones)
+	if err != nil {
+		return nil, err
+	}
+	var q eventq.Queue
+	src := simrand.New(cfg.Seed)
+	net := netsim.New(&q, spec.Graph, h, src)
+	net.QueueLimit = cfg.QueueLimit
+	col := stats.NewCollector(spec.Source, len(spec.Receivers), cfg.BinWidth)
+	net.AddTap(col.Tap())
+	net.AddSendTap(col.SendTap())
+	var tracer *stats.Tracer
+	if cfg.TraceWriter != nil {
+		tracer = stats.NewTracer(cfg.TraceWriter)
+		net.AddTap(tracer.Tap())
+		net.AddSendTap(tracer.SendTap())
+	}
+
+	pcfg := core.DefaultConfig()
+	pcfg.Source = spec.Source
+	pcfg.NumPackets = cfg.NumPackets
+	pcfg.Options = opts
+	if cfg.GroupK > 0 {
+		pcfg.GroupK = cfg.GroupK
+	}
+
+	agents := make(map[topology.NodeID]*core.Agent, len(spec.Receivers)+1)
+	verified := true
+	completions := 0
+	var sourceAgent *core.Agent
+	for _, m := range spec.Members() {
+		ag, err := core.New(m, net, pcfg, src)
+		if err != nil {
+			return nil, err
+		}
+		agents[m] = ag
+		if m == spec.Source {
+			sourceAgent = ag
+			continue
+		}
+		ag.OnComplete = func(_ eventq.Time, gid uint32, data [][]byte) {
+			completions++
+			if cfg.SkipVerify {
+				return
+			}
+			want := sourceAgent.SentGroup(gid)
+			for i := range want {
+				if !bytes.Equal(data[i], want[i]) {
+					verified = false
+				}
+			}
+		}
+	}
+
+	q.At(secondsToTime(cfg.JoinAt), func(eventq.Time) {
+		for _, ag := range agents {
+			ag.Join()
+		}
+	})
+	q.At(secondsToTime(cfg.SourceOnAt), func(eventq.Time) { sourceAgent.StartSource() })
+	q.RunUntil(secondsToTime(cfg.Until))
+	if tracer != nil {
+		_ = tracer.Flush()
+	}
+
+	res := &DataResult{
+		Protocol:  cfg.Protocol,
+		Topology:  spec.Name,
+		Receivers: len(spec.Receivers),
+		Verified:  verified && !cfg.SkipVerify,
+	}
+	fillSeries(res, col)
+	for _, ag := range agents {
+		res.NACKsSent += ag.Stats.NACKsSent
+		res.RepairsSent += ag.Stats.RepairsSent
+		res.RepairsInjected += ag.Stats.RepairsInjected
+	}
+	expect := len(spec.Receivers) * pcfg.NumGroups()
+	res.CompletionRate = float64(completions) / float64(expect)
+	return res, nil
+}
+
+func runSRM(cfg DataConfig) (*DataResult, error) {
+	spec := globalized(cfg.Topology.spec)
+	h, err := scoping.Build(spec.Zones)
+	if err != nil {
+		return nil, err
+	}
+	var q eventq.Queue
+	src := simrand.New(cfg.Seed)
+	net := netsim.New(&q, spec.Graph, h, src)
+	net.QueueLimit = cfg.QueueLimit
+	col := stats.NewCollector(spec.Source, len(spec.Receivers), cfg.BinWidth)
+	net.AddTap(col.Tap())
+	net.AddSendTap(col.SendTap())
+	var tracer *stats.Tracer
+	if cfg.TraceWriter != nil {
+		tracer = stats.NewTracer(cfg.TraceWriter)
+		net.AddTap(tracer.Tap())
+		net.AddSendTap(tracer.SendTap())
+	}
+
+	pcfg := srm.DefaultConfig()
+	pcfg.Source = spec.Source
+	pcfg.NumPackets = cfg.NumPackets
+
+	agents := make(map[topology.NodeID]*srm.Agent, len(spec.Receivers)+1)
+	for _, m := range spec.Members() {
+		ag, err := srm.New(m, net, pcfg, src)
+		if err != nil {
+			return nil, err
+		}
+		agents[m] = ag
+	}
+	q.At(secondsToTime(cfg.JoinAt), func(eventq.Time) {
+		for _, ag := range agents {
+			ag.Join()
+		}
+	})
+	q.At(secondsToTime(cfg.SourceOnAt), func(eventq.Time) { agents[spec.Source].StartSource() })
+	q.RunUntil(secondsToTime(cfg.Until))
+	if tracer != nil {
+		_ = tracer.Flush()
+	}
+
+	res := &DataResult{
+		Protocol:  cfg.Protocol,
+		Topology:  cfg.Topology.spec.Name,
+		Receivers: len(spec.Receivers),
+	}
+	fillSeries(res, col)
+	held, verified := 0, true
+	srcAgent := agents[spec.Source]
+	for _, m := range spec.Receivers {
+		ag := agents[m]
+		res.NACKsSent += ag.Stats.RequestsSent
+		res.RepairsSent += ag.Stats.RepairsSent
+		held += ag.Held()
+		if !cfg.SkipVerify {
+			for seq := uint32(0); seq < uint32(cfg.NumPackets); seq += 13 {
+				got, ok := ag.Payload(seq)
+				want, _ := srcAgent.Payload(seq)
+				if ok && !bytes.Equal(got, want) {
+					verified = false
+				}
+			}
+		}
+	}
+	res.RepairsSent += srcAgent.Stats.RepairsSent
+	res.CompletionRate = float64(held) / float64(len(spec.Receivers)*cfg.NumPackets)
+	res.Verified = verified && !cfg.SkipVerify
+	return res, nil
+}
+
+func fillSeries(res *DataResult, col *stats.Collector) {
+	res.AvgDataRepair = toSeries(col.AvgDataRepair())
+	res.AvgNACKs = toSeries(col.AvgNACKs())
+	res.SourceDataRepair = toSeries(col.SourceDataRepair)
+	res.SourceNACKs = toSeries(col.SourceNACKs)
+	res.SessionPackets = int(col.Session.Sum())
+}
+
+func toSeries(s *stats.Series) Series {
+	return Series{Start: s.Start, BinWidth: s.BinWidth, Bins: s.Values()}
+}

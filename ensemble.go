@@ -1,0 +1,114 @@
+package sharqfec
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// EnsembleResult aggregates a data experiment over several seeds. The
+// paper chose a long run so "any dependency upon ns's internal random
+// number generator would be minimized"; the ensemble achieves the same
+// by averaging independent replicas (run in parallel — each simulation
+// is single-threaded and deterministic, so replicas scale across cores).
+type EnsembleResult struct {
+	Protocol Protocol
+	Seeds    []uint64
+
+	// Mean/Std of the headline per-receiver totals across seeds.
+	MeanPktsPerReceiver, StdPktsPerReceiver   float64
+	MeanNACKsPerReceiver, StdNACKsPerReceiver float64
+	MeanCompletion                            float64
+
+	// MeanSeries is the per-bin mean of the data+repair series.
+	MeanSeries Series
+
+	// Runs holds the individual results, seed-ordered.
+	Runs []*DataResult
+}
+
+// RunEnsemble runs cfg once per seed (in parallel, bounded by GOMAXPROCS)
+// and aggregates. cfg.Seed is ignored; seeds supplies the replicas.
+func RunEnsemble(cfg DataConfig, seeds []uint64) (*EnsembleResult, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("sharqfec: ensemble needs at least one seed")
+	}
+	results := make([]*DataResult, len(seeds))
+	errs := make([]error, len(seeds))
+
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, seed := range seeds {
+		wg.Add(1)
+		go func(i int, seed uint64) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			c := cfg
+			c.Seed = seed
+			results[i], errs[i] = RunData(c)
+		}(i, seed)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	res := &EnsembleResult{
+		Protocol: cfg.Protocol,
+		Seeds:    append([]uint64(nil), seeds...),
+		Runs:     results,
+	}
+	var pkts, nacks, compl []float64
+	maxBins := 0
+	for _, r := range results {
+		pkts = append(pkts, r.AvgDataRepair.Sum())
+		nacks = append(nacks, r.AvgNACKs.Sum())
+		compl = append(compl, r.CompletionRate)
+		if len(r.AvgDataRepair.Bins) > maxBins {
+			maxBins = len(r.AvgDataRepair.Bins)
+		}
+	}
+	res.MeanPktsPerReceiver, res.StdPktsPerReceiver = meanStd(pkts)
+	res.MeanNACKsPerReceiver, res.StdNACKsPerReceiver = meanStd(nacks)
+	res.MeanCompletion, _ = meanStd(compl)
+
+	first := results[0].AvgDataRepair
+	res.MeanSeries = Series{Start: first.Start, BinWidth: first.BinWidth, Bins: make([]float64, maxBins)}
+	for _, r := range results {
+		for i, v := range r.AvgDataRepair.Bins {
+			res.MeanSeries.Bins[i] += v
+		}
+	}
+	for i := range res.MeanSeries.Bins {
+		res.MeanSeries.Bins[i] /= float64(len(results))
+	}
+	return res, nil
+}
+
+// Seeds returns n deterministic seeds derived from base, for ensembles.
+func Seeds(base uint64, n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = base + uint64(i)*1_000_003
+	}
+	return out
+}
+
+func meanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		std += (x - mean) * (x - mean)
+	}
+	std = math.Sqrt(std / float64(len(xs)))
+	return mean, std
+}

@@ -1,0 +1,3 @@
+module sharqfec
+
+go 1.24

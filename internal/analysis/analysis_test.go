@@ -1,0 +1,195 @@
+package analysis
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"sharqfec/internal/topology"
+)
+
+func TestFigure1AllReceiveProbability(t *testing.T) {
+	tree := NewFigure1Tree()
+	got := tree.AllReceiveProbability()
+	if math.Abs(got-0.27) > 0.005 {
+		t.Fatalf("Pr(all receive) = %.4f, want ≈0.270 (paper)", got)
+	}
+}
+
+func TestFigure1WorstReceiver(t *testing.T) {
+	tree := NewFigure1Tree()
+	got := tree.WorstReceiverLoss()
+	if math.Abs(got-0.0973) > 0.0005 {
+		t.Fatalf("worst receiver loss = %.4f, want ≈0.0973 (paper)", got)
+	}
+	// X must actually be the worst leaf.
+	for _, leaf := range tree.Leaves() {
+		if tree.CompoundLoss(leaf) > got+1e-12 {
+			t.Fatalf("leaf %d lossier than X", leaf)
+		}
+	}
+}
+
+func TestFigure1TreeShape(t *testing.T) {
+	tree := NewFigure1Tree()
+	if len(tree.Loss) != 30 {
+		t.Fatalf("links = %d, want 30", len(tree.Loss))
+	}
+	if got := len(tree.Leaves()); got != 24 {
+		t.Fatalf("leaves = %d, want 24", got)
+	}
+	if tree.NumNodes() != 31 {
+		t.Fatalf("nodes = %d", tree.NumNodes())
+	}
+}
+
+func TestFigure1Volume(t *testing.T) {
+	tree := NewFigure1Tree()
+	vol := tree.NonScopedFECVolume()
+	// The source must transmit 1/(1-0.0973) ≈ 1.108 normalized volume.
+	if math.Abs(vol[0]-1.108) > 0.002 {
+		t.Fatalf("source volume = %.4f, want ≈1.108", vol[0])
+	}
+	// Every other node sees less than the source's volume but (for this
+	// tree) more than 1.0 — the needless redundancy the paper's bottom
+	// tree illustrates.
+	for n := 1; n < tree.NumNodes(); n++ {
+		if vol[n] >= vol[0] {
+			t.Fatalf("node %d volume %.4f >= source", n, vol[n])
+		}
+	}
+	// X receives just about 1.0 (exactly enough to reconstruct).
+	x := vol[tree.WorstNode]
+	if math.Abs(x-1.0) > 0.001 {
+		t.Fatalf("X volume = %.4f, want ≈1.0", x)
+	}
+}
+
+func TestFigure1Report(t *testing.T) {
+	r := Figure1Report()
+	for _, want := range []string{"27.0%", "9.73%", "leaf"} {
+		if !strings.Contains(r, want) {
+			t.Fatalf("report missing %q:\n%s", want, r)
+		}
+	}
+}
+
+func TestFigure8PaperNumbers(t *testing.T) {
+	rows := Figure8Table(topology.PaperNational())
+	wantRTTs := []int{10, 30, 130, 630}
+	wantTraffic := []float64{100, 500, 10500, 260500}
+	for i, r := range rows {
+		if r.RTTsMaintained != wantRTTs[i] {
+			t.Fatalf("%s RTTs = %d, want %d", r.Level, r.RTTsMaintained, wantRTTs[i])
+		}
+		if r.ScopedTraffic != wantTraffic[i] {
+			t.Fatalf("%s traffic = %v, want %v", r.Level, r.ScopedTraffic, wantTraffic[i])
+		}
+	}
+	// State ratios: 1,000,021 / {1,3,13,63}.
+	wantRatio := []float64{1000021, 1000021.0 / 3, 1000021.0 / 13, 1000021.0 / 63}
+	for i, r := range rows {
+		if math.Abs(r.StateReductionInv-wantRatio[i])/wantRatio[i] > 0.001 {
+			t.Fatalf("%s state ratio = %v, want %v", r.Level, r.StateReductionInv, wantRatio[i])
+		}
+	}
+}
+
+func TestFigure8Receivers(t *testing.T) {
+	rows := Figure8Table(topology.PaperNational())
+	if rows[3].NumReceivers != 10000000 {
+		t.Fatalf("suburb receivers = %d", rows[3].NumReceivers)
+	}
+	if rows[1].NumZones != 10 || rows[2].NumZones != 200 || rows[3].NumZones != 20000 {
+		t.Fatalf("zone counts wrong: %+v", rows)
+	}
+}
+
+func TestFigure8Report(t *testing.T) {
+	r := Figure8Report(topology.PaperNational())
+	for _, want := range []string{"National", "Suburb", "630"} {
+		if !strings.Contains(r, want) {
+			t.Fatalf("report missing %q", want)
+		}
+	}
+}
+
+func TestFigure8ScalesWithParams(t *testing.T) {
+	small := topology.NationalParams{Regions: 2, Cities: 2, Suburbs: 2, SubscribersPerSuburb: 10}
+	rows := Figure8Table(small)
+	if rows[3].RTTsMaintained != 2+2+2+10 {
+		t.Fatalf("small suburb RTTs = %d", rows[3].RTTsMaintained)
+	}
+	if rows[0].NonScopedTraffic != float64(small.TotalReceivers())*float64(small.TotalReceivers()) {
+		t.Fatal("non-scoped traffic wrong")
+	}
+}
+
+func TestExpectedZLCBasics(t *testing.T) {
+	if ExpectedZLC(16, 0, 5) != 0 {
+		t.Fatal("zero loss should predict zero")
+	}
+	if ExpectedZLC(0, 0.1, 5) != 0 {
+		t.Fatal("zero group size should predict zero")
+	}
+	// Single contender: exactly the binomial mean.
+	if got := ExpectedZLC(16, 0.25, 1); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("single-contender ZLC = %v, want 4", got)
+	}
+	// More contenders raise the expectation (max over more draws).
+	if ExpectedZLC(16, 0.1, 8) <= ExpectedZLC(16, 0.1, 2) {
+		t.Fatal("expected ZLC not monotone in contenders")
+	}
+}
+
+func TestExpectedZLCAgainstMonteCarlo(t *testing.T) {
+	// Validate the mean-plus-spread approximation against simulation.
+	const k, p, m, trials = 16, 0.08, 3, 20000
+	rng := newTestRand(99)
+	sum := 0.0
+	for tr := 0; tr < trials; tr++ {
+		maxLoss := 0
+		for member := 0; member < m; member++ {
+			loss := 0
+			for i := 0; i < k; i++ {
+				if rng.Float64() < p {
+					loss++
+				}
+			}
+			if loss > maxLoss {
+				maxLoss = loss
+			}
+		}
+		sum += float64(maxLoss)
+	}
+	mc := sum / trials
+	model := ExpectedZLC(k, p, m)
+	if math.Abs(model-mc) > 0.6 {
+		t.Fatalf("cascade model %.3f vs Monte Carlo %.3f", model, mc)
+	}
+}
+
+func TestFigure10CascadeShape(t *testing.T) {
+	exp := CascadeExpectation(16, Figure10Cascade())
+	if len(exp) != 3 {
+		t.Fatalf("levels = %d", len(exp))
+	}
+	// The cascade decreases down the hierarchy: the backbone stage is
+	// the lossiest, leaves the cleanest.
+	if !(exp[0] > exp[1] && exp[1] > exp[2]) {
+		t.Fatalf("cascade not decreasing: %v", exp)
+	}
+	// Root injection for the 18.8% worst path ≈ 3 shares of 16.
+	if exp[0] < 2.5 || exp[0] > 3.6 {
+		t.Fatalf("root cascade = %v, want ≈3", exp[0])
+	}
+}
+
+func TestCascadeReport(t *testing.T) {
+	r := CascadeReport(16)
+	for _, want := range []string{"k=16", "source→mesh", "leaf injection"} {
+		if !strings.Contains(r, want) {
+			t.Fatalf("report missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Figure-2 redundancy cascade model: with scoping, "the source need only
+// add sufficient redundancy to guarantee delivery of each group to
+// receiver Y, which will in turn add just enough redundancy to ensure
+// delivery of each group to receiver Z." Each level's Zone Closest
+// Receiver therefore injects enough FEC shares to cover the loss of the
+// stage *entering* its zone. This model predicts those per-level
+// injection amounts, which the simulator's EWMA-driven predictors should
+// converge to.
+
+// CascadeLevel is one stage of the hierarchy.
+type CascadeLevel struct {
+	// Name labels the stage ("source→mesh", "mesh→child", …).
+	Name string
+	// Loss is the per-packet loss probability of the stage's link(s).
+	Loss float64
+	// Contenders is how many members' loss counts the stage's ZLC
+	// maximizes over (the paper's ZLC is the max LLC in the zone).
+	Contenders int
+}
+
+// ExpectedZLC returns the expected zone loss count for a group of k
+// packets crossing a stage: the mean of the maximum of `contenders`
+// independent Binomial(k, p) draws, via the normal approximation and
+// Blom's order-statistic formula
+// E[max of m] ≈ μ + σ·Φ⁻¹((m − 0.375)/(m + 0.25)),
+// accurate to a fraction of a packet across the paper's parameter range.
+func ExpectedZLC(k int, p float64, contenders int) float64 {
+	if p <= 0 || k <= 0 {
+		return 0
+	}
+	mean := float64(k) * p
+	if contenders <= 1 {
+		return mean
+	}
+	sigma := math.Sqrt(float64(k) * p * (1 - p))
+	m := float64(contenders)
+	return mean + sigma*invNorm((m-0.375)/(m+0.25))
+}
+
+// invNorm is the standard normal quantile function Φ⁻¹ (Acklam's
+// rational approximation, relative error < 1.2e-9 on (0, 1)).
+func invNorm(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		panic("analysis: invNorm domain")
+	}
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+		1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+		6.680131188771972e+01, -1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+		-2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+		3.754408661907416e+00}
+	const pLow, pHigh = 0.02425, 1 - 0.02425
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p > pHigh:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	default:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	}
+}
+
+// CascadeExpectation returns, per level, the redundancy (FEC shares per
+// group) the level's injector is expected to add: the predicted ZLC of
+// the stage entering its zone.
+func CascadeExpectation(k int, levels []CascadeLevel) []float64 {
+	out := make([]float64, len(levels))
+	for i, l := range levels {
+		out[i] = ExpectedZLC(k, l.Loss, l.Contenders)
+	}
+	return out
+}
+
+// Figure10Cascade returns the cascade levels of the reproduction's
+// Figure-10 topology: the source covers the worst source→mesh path
+// (18.8 %, maximized over 7 mesh nodes), mesh ZCRs cover the 8 %
+// mesh→child links (3 contenders each), and child ZCRs cover the 4 %
+// child→grandchild links (4 contenders).
+func Figure10Cascade() []CascadeLevel {
+	return []CascadeLevel{
+		{Name: "source→mesh (root injection)", Loss: 0.188, Contenders: 1},
+		{Name: "mesh→child (intermediate injection)", Loss: 0.08, Contenders: 3},
+		{Name: "child→grandchild (leaf injection)", Loss: 0.04, Contenders: 4},
+	}
+}
+
+// CascadeReport renders the model for groups of k packets.
+func CascadeReport(k int) string {
+	levels := Figure10Cascade()
+	exp := CascadeExpectation(k, levels)
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure-2 redundancy cascade (k=%d)\n", k)
+	for i, l := range levels {
+		fmt.Fprintf(&b, "  %-38s loss=%4.1f%%  expected shares/group=%.2f\n",
+			l.Name, 100*l.Loss, exp[i])
+	}
+	return b.String()
+}

@@ -1,0 +1,6 @@
+package analysis
+
+import "math/rand/v2"
+
+// newTestRand returns a seeded generator for Monte-Carlo checks.
+func newTestRand(seed uint64) *rand.Rand { return rand.New(rand.NewPCG(seed, 1)) }

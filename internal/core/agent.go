@@ -1,0 +1,340 @@
+package core
+
+import (
+	"fmt"
+
+	"sharqfec/internal/eventq"
+	"sharqfec/internal/fabric"
+	"sharqfec/internal/fec"
+	"sharqfec/internal/packet"
+	"sharqfec/internal/scoping"
+	"sharqfec/internal/session"
+	"sharqfec/internal/simrand"
+	"sharqfec/internal/topology"
+)
+
+// Stats are per-agent protocol counters.
+type Stats struct {
+	NACKsSent        int
+	NACKsSuppressed  int
+	RepairsSent      int
+	RepairsInjected  int
+	GroupsCompleted  int
+	DataReceived     int
+	RepairsReceived  int
+	DupShares        int
+	ScopeEscalations int
+}
+
+// Agent is one SHARQFEC session member (sender or receiver).
+type Agent struct {
+	node  topology.NodeID
+	net   fabric.Network
+	cfg   Config
+	rng   *simrand.Rand
+	sess  *session.Manager
+	codec *fec.Codec
+
+	isSource bool
+	root     scoping.ZoneID
+	chain    []scoping.ZoneID // scope chain used for NACKs (collapsed when !Scoping)
+
+	groups   map[uint32]*group
+	maxSeq   int64 // highest original data seq seen; -1 before any
+	ipt      float64
+	iptInit  bool
+	lastData eventq.Time
+
+	// predZLC is the EWMA-predicted zone loss count, maintained by the
+	// sender (root scope) and by ZCRs (their zones).
+	predZLC map[scoping.ZoneID]float64
+
+	// sendData holds the source's original payloads by group.
+	sendData map[uint32][][]byte
+
+	// OnComplete, if set, fires when a group is fully reconstructed at
+	// this node.
+	OnComplete func(now eventq.Time, group uint32, data [][]byte)
+
+	joined  bool
+	stopped bool
+
+	// late-join state (see latejoin.go)
+	lateJoiner    bool
+	joinSeq       int64 // first seq of the group current at join; -1 until known
+	catchUpQueue  []uint32
+	catchUpActive map[uint32]bool
+
+	// receiver-report tallies (original packets observed lost / total)
+	rrLost, rrTotal int
+
+	// adaptive request-timer state (§7 extension; see adaptive.go)
+	c1, c2     float64
+	aveDupNACK float64
+
+	Stats Stats
+}
+
+// New creates a SHARQFEC agent for node and attaches it to the network.
+func New(node topology.NodeID, net fabric.Network, cfg Config, src *simrand.Source) (*Agent, error) {
+	if cfg.NumPackets%cfg.GroupK != 0 {
+		return nil, fmt.Errorf("core: NumPackets (%d) must be a multiple of GroupK (%d)", cfg.NumPackets, cfg.GroupK)
+	}
+	codec, err := fec.NewCodec(cfg.GroupK)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	a := &Agent{
+		node:          node,
+		net:           net,
+		cfg:           cfg,
+		rng:           src.StreamN("core", int(node)),
+		codec:         codec,
+		isSource:      node == cfg.Source,
+		root:          net.Hierarchy().Root(),
+		groups:        make(map[uint32]*group),
+		maxSeq:        -1,
+		catchUpActive: make(map[uint32]bool),
+		c1:            cfg.C1,
+		c2:            cfg.C2,
+		ipt:           cfg.InterPacket(), // advertised rate bootstraps the estimate
+		predZLC:       make(map[scoping.ZoneID]float64),
+	}
+	a.sess = session.New(node, net, cfg.Session, src.StreamN("session", int(node)))
+	if cfg.Options.Scoping {
+		a.chain = net.Hierarchy().ZonesOf(node)
+	} else {
+		a.chain = []scoping.ZoneID{a.root}
+	}
+	if a.isSource {
+		a.sendData = make(map[uint32][][]byte)
+	}
+	net.Attach(node, a)
+	return a, nil
+}
+
+// Node returns the agent's node ID.
+func (a *Agent) Node() topology.NodeID { return a.node }
+
+// Session exposes the agent's session manager (for experiments that
+// inspect RTT state).
+func (a *Agent) Session() *session.Manager { return a.sess }
+
+// RawLossFraction returns the fraction of original packets this
+// receiver observed missing at group loss-detection deadlines — its
+// published receiver report.
+func (a *Agent) RawLossFraction() float64 {
+	if a.rrTotal == 0 {
+		return 0
+	}
+	return float64(a.rrLost) / float64(a.rrTotal)
+}
+
+// SentGroup returns the original payloads the source transmitted for a
+// group (nil on receivers or for groups not yet sent).
+func (a *Agent) SentGroup(gid uint32) [][]byte {
+	if a.sendData == nil {
+		return nil
+	}
+	return a.sendData[gid]
+}
+
+// Join subscribes the member: packets are processed from this moment and
+// session management starts. The source declares itself the root-zone
+// ZCR.
+func (a *Agent) Join() {
+	a.joined = true
+	a.sess.Start(a.isSource)
+}
+
+// Stop fails the member: it stops sending and reacting entirely, while
+// the network keeps forwarding through its attachment point — the ZCR
+// failure model of §3.2/§5.2.
+func (a *Agent) Stop() {
+	a.stopped = true
+	a.sess.Stop()
+}
+
+// Stopped reports whether Stop was called.
+func (a *Agent) Stopped() bool { return a.stopped }
+
+// StartSource schedules the source's CBR transmission beginning at the
+// current simulation time: NumPackets data packets at the configured
+// rate, in groups of GroupK, with preemptive redundancy per group when
+// injection is enabled. Payload bytes are generated deterministically
+// from the agent's random stream.
+func (a *Agent) StartSource() {
+	if !a.isSource {
+		panic("core: StartSource on a receiver")
+	}
+	ipt := eventq.Duration(a.cfg.InterPacket())
+	for s := 0; s < a.cfg.NumPackets; s++ {
+		seq := uint32(s)
+		at := eventq.Duration(float64(s)) * ipt
+		a.net.Sched().After(at, func(now eventq.Time) { a.sourceSend(now, seq) })
+	}
+}
+
+// sourceSend transmits data packet seq and, at each group boundary,
+// performs the sender's repair-phase entry (§4 RP rules).
+func (a *Agent) sourceSend(now eventq.Time, seq uint32) {
+	if a.stopped {
+		return
+	}
+	k := a.cfg.GroupK
+	gid := seq / uint32(k)
+	idx := int(seq) % k
+	data := a.sendData[gid]
+	if data == nil {
+		data = make([][]byte, k)
+		for i := range data {
+			p := make([]byte, a.cfg.PayloadSize)
+			for j := range p {
+				p[j] = byte(a.rng.IntN(256))
+			}
+			data[i] = p
+		}
+		a.sendData[gid] = data
+	}
+	pkt := &packet.Data{
+		Origin:  a.node,
+		Seq:     seq,
+		Group:   gid,
+		Index:   uint8(idx),
+		GroupK:  uint8(k),
+		Payload: data[idx],
+	}
+	a.net.Multicast(a.node, a.root, pkt)
+	a.sess.MaxSeq = seq + 1 // advertised as one past the high-water mark
+
+	lastOfGroup := idx == k-1 || int(seq) == a.cfg.NumPackets-1
+	if lastOfGroup {
+		a.senderGroupEnd(now, gid)
+	}
+}
+
+// senderGroupEnd runs when the source finishes a group's original
+// packets: preemptive redundancy (if enabled), immediate service of any
+// NACK-queued repairs, and scheduling of the ZLC sample for the EWMA.
+func (a *Agent) senderGroupEnd(now eventq.Time, gid uint32) {
+	g := a.ensureGroup(gid)
+	g.complete = true // the source trivially holds all data
+	g.maxShare = a.cfg.GroupK - 1
+
+	if a.cfg.Options.Injection {
+		h := int(a.predZLC[a.root] + 0.5)
+		if h > 0 {
+			a.injectRepairs(now, g, a.root, h)
+			a.Stats.RepairsInjected += h
+		}
+	}
+	// Serve any repairs NACKed during the loss-detection phase,
+	// starting immediately (§4 RP: "immediately generating and
+	// transmitting the first of any queued repairs in the largest
+	// scope zone").
+	a.serveQueuedRepairs(now, g)
+	a.scheduleZLCSample(now, g, a.root)
+}
+
+// Receive implements fabric.Agent: session packets go to the session
+// manager; data-plane packets to the protocol handlers.
+func (a *Agent) Receive(now eventq.Time, d fabric.Delivery) {
+	if a.stopped || !a.joined {
+		return
+	}
+	if sp, ok := d.Pkt.(*packet.Session); ok {
+		// Session messages advertise the stream high-water mark, which
+		// is the only way to detect losses at the very tail of the
+		// stream (no later data packet opens the gap). A late joiner
+		// instead learns the stream position from it and starts the
+		// paced catch-up queue.
+		hw := int64(sp.MaxSeq) - 1
+		if a.lateJoiner && a.joinSeq < 0 && hw >= 0 {
+			a.observeStreamPosition(now, hw)
+		}
+		if !a.isSource && hw > a.maxSeq {
+			for s := a.maxSeq + 1; s <= hw; s++ {
+				a.noteLoss(now, uint32(s))
+			}
+			a.maxSeq = hw
+		}
+	}
+	if a.sess.Receive(now, d.Pkt) {
+		return
+	}
+	switch p := d.Pkt.(type) {
+	case *packet.Data:
+		a.handleData(now, p)
+	case *packet.Repair:
+		a.handleRepair(now, p)
+	case *packet.NACK:
+		a.handleNACK(now, p)
+	default:
+		// Unknown data-plane packet: ignore (forward compatibility).
+	}
+}
+
+// ensureGroup returns (creating if needed) the state for group gid.
+func (a *Agent) ensureGroup(gid uint32) *group {
+	g := a.groups[gid]
+	if g == nil {
+		g = newGroup(gid, a.cfg.GroupK)
+		a.groups[gid] = g
+	}
+	return g
+}
+
+// scopeZone maps a scope index (into the agent's chain) to a zone.
+func (a *Agent) scopeZone(idx int) scoping.ZoneID {
+	if idx >= len(a.chain) {
+		idx = len(a.chain) - 1
+	}
+	return a.chain[idx]
+}
+
+// nackScope returns the initial NACK scope per §4: the smallest zone,
+// unless the source is a member of it, in which case the largest scope
+// is used instead. A zone's own ZCR additionally starts at the parent
+// scope: every member of its zone is downstream of it and shares its
+// losses, and the Figure-2 redundancy cascade needs the next level up
+// (ultimately the source) to hear the ZCR's loss count so its ZLC
+// predictor covers the zone's inbound losses.
+func (a *Agent) nackScope() int {
+	if !a.cfg.Options.Scoping {
+		return 0
+	}
+	if a.net.Hierarchy().Contains(a.chain[0], a.cfg.Source) {
+		return len(a.chain) - 1
+	}
+	for i := 0; i < len(a.chain)-1; i++ {
+		if !a.isZCR(a.chain[i]) {
+			return i
+		}
+	}
+	return len(a.chain) - 1
+}
+
+// distToSource estimates the one-way transit time to the data source for
+// the request timer (d_{S,A}).
+func (a *Agent) distToSource() float64 {
+	return a.sess.Dist(a.cfg.Source, nil)
+}
+
+// canRepair reports whether this agent may generate repairs once it holds
+// a complete group.
+func (a *Agent) canRepair() bool {
+	return a.isSource || !a.cfg.Options.SenderOnly
+}
+
+// isZCR reports whether this agent is currently the ZCR of zone z (the
+// source acts as the root's ZCR; the role is disabled entirely without
+// scoping, where the source is the only injector).
+func (a *Agent) isZCR(z scoping.ZoneID) bool {
+	if !a.cfg.Options.Scoping {
+		return a.isSource && z == a.root
+	}
+	if z == a.root {
+		return a.isSource
+	}
+	return a.sess.IsZCR(z)
+}

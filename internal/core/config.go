@@ -1,0 +1,133 @@
+// Package core implements the SHARQFEC protocol (paper §4): two-phase
+// group delivery (Loss Detection Phase, Repair Phase), LLC/ZLC loss
+// accounting, SRM-style NACK and reply suppression timers with the
+// paper's modifications, speculative repair queues, preemptive FEC
+// injection by Zone Closest Receivers driven by an EWMA loss predictor,
+// and scope escalation for unserved repairs.
+//
+// The feature flags in Options turn individual mechanisms off to produce
+// the ablated protocols the paper evaluates: SHARQFEC(ns), SHARQFEC(ni),
+// SHARQFEC(so) and their combinations — SHARQFEC(ns,ni,so) being the
+// ECSRM-like baseline of Figures 14–15.
+package core
+
+import (
+	"sharqfec/internal/session"
+	"sharqfec/internal/topology"
+)
+
+// Options are the ablation switches of §6.2.
+type Options struct {
+	// Scoping enables the administrative zone hierarchy. When false
+	// ("ns"), every NACK and repair uses the global scope and only the
+	// source injects preemptive FEC.
+	Scoping bool
+	// Injection enables preemptive FEC: the sender appends predicted
+	// redundancy to each group, and ZCRs inject predicted repairs into
+	// their zones without waiting for NACKs. When false ("ni"), all
+	// repairs are NACK-driven.
+	Injection bool
+	// SenderOnly restricts repair generation to the source ("so");
+	// receivers never become repairers.
+	SenderOnly bool
+	// AdaptiveTimers enables the §7 future-work extension: request
+	// timer constants adapt to observed duplicate NACKs (see
+	// adaptive.go). Off by default — the paper's simulations use fixed
+	// timers.
+	AdaptiveTimers bool
+}
+
+// Full returns the options for the complete protocol.
+func Full() Options { return Options{Scoping: true, Injection: true} }
+
+// ECSRM returns the SHARQFEC(ns,ni,so) ablation: hybrid ARQ/FEC with no
+// scoping, no preemptive injection, sender-only repairs — the paper's
+// stand-in for Gemmell's ECSRM with RTT-based timer windows.
+func ECSRM() Options { return Options{SenderOnly: true} }
+
+// Config carries all protocol constants. DefaultConfig reproduces the
+// values the paper states for its simulations.
+type Config struct {
+	// Source is the data sender's node ID.
+	Source topology.NodeID
+	// GroupK is the number of data packets per FEC group (paper: 16).
+	GroupK int
+	// PayloadSize is the application payload per data packet, sized so
+	// the wire packet is the paper's 1000 bytes.
+	PayloadSize int
+	// Rate is the source's constant bit rate in bits/s (paper: 800 kbit/s).
+	Rate float64
+	// NumPackets is the number of original data packets (paper: 1024).
+	NumPackets int
+	// C1, C2 shape the request timer: delay ~ 2^i·U[C1·d, (C1+C2)·d]
+	// with d the estimated one-way distance to the source (paper: 2, 2).
+	C1, C2 float64
+	// D1, D2 shape the reply timer: delay ~ U[D1·d, (D1+D2)·d] with d
+	// the distance to the NACK sender (paper: 1, 1). No backoff.
+	D1, D2 float64
+	// EWMAOld/EWMANew weight the predicted-ZLC filter
+	// (paper: 0.75 / 0.25).
+	EWMAOld, EWMANew float64
+	// ZLCWaitRTTs is how many RTTs (to the most distant zone member) a
+	// ZCR waits after a group ends before sampling the true ZLC
+	// (paper: 2.5).
+	ZLCWaitRTTs float64
+	// EscalateAfter is how many NACK attempts are made at each scope
+	// before widening to the next-largest zone (paper: 2).
+	EscalateAfter int
+	// RepairSpacing is the interval between successive repair packets
+	// from one repairer, as a fraction of the data inter-packet
+	// interval (paper: 0.5).
+	RepairSpacing float64
+	// LDPSlackPackets pads the loss-detection-phase timer by this many
+	// inter-packet intervals beyond the expected last arrival.
+	LDPSlackPackets float64
+	// RetainData is how long (seconds) an ordinary receiver keeps a
+	// completed group's payloads available for repairing peers. The
+	// source and ZCRs retain indefinitely.
+	RetainData float64
+	// CatchUpWindow bounds how many missed groups a late joiner
+	// recovers concurrently, keeping its catch-up traffic paced.
+	CatchUpWindow int
+
+	Options Options
+	Session session.Config
+}
+
+// DefaultConfig returns the paper's §6.2 parameters with the full
+// protocol enabled.
+func DefaultConfig() Config {
+	return Config{
+		Source:          0,
+		GroupK:          16,
+		PayloadSize:     1000 - 17, // data wire header is 17 bytes
+		Rate:            800e3,
+		NumPackets:      1024,
+		C1:              2,
+		C2:              2,
+		D1:              1,
+		D2:              1,
+		EWMAOld:         0.75,
+		EWMANew:         0.25,
+		ZLCWaitRTTs:     2.5,
+		EscalateAfter:   2,
+		RepairSpacing:   0.5,
+		LDPSlackPackets: 2,
+		RetainData:      5,
+		CatchUpWindow:   2,
+		Options:         Full(),
+		Session:         session.DefaultConfig(),
+	}
+}
+
+// InterPacket returns the source's data inter-packet interval in seconds
+// (wire size × 8 / rate) — 10 ms for the paper's parameters.
+func (c *Config) InterPacket() float64 {
+	wire := float64(c.PayloadSize + 17)
+	return wire * 8 / c.Rate
+}
+
+// NumGroups returns the number of FEC groups the stream divides into.
+func (c *Config) NumGroups() int {
+	return (c.NumPackets + c.GroupK - 1) / c.GroupK
+}

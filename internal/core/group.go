@@ -1,0 +1,507 @@
+package core
+
+import (
+	"sharqfec/internal/eventq"
+	"sharqfec/internal/fabric"
+	"sharqfec/internal/fec"
+	"sharqfec/internal/packet"
+	"sharqfec/internal/scoping"
+)
+
+// group is per-FEC-group receiver/repairer state.
+type group struct {
+	id uint32
+	k  int
+
+	// shares maps share index → payload for every distinct share held.
+	shares map[int][]byte
+	// data holds the decoded original payloads once complete.
+	data [][]byte
+	// seen marks which original data indices arrived as data packets.
+	seen []bool
+	// counted marks data indices already counted into the LLC.
+	counted []bool
+
+	llc          int
+	zlc          map[scoping.ZoneID]int
+	maxShare     int // highest share index known used anywhere
+	complete     bool
+	inRepair     bool // repair phase entered (LDP over)
+	repairsHeard int  // distinct repair shares received
+
+	// request side
+	reqTimer    fabric.Timer
+	reqExp      int // the paper's i, initially 1
+	scopeIdx    int // current NACK scope (index into the agent's chain)
+	attempts    int // NACKs sent at the current scope
+	outstanding int // repairs requested by zone peers, minus repairs heard
+
+	// reply side (repairer)
+	pending    map[scoping.ZoneID]int // speculative repairs owed per zone
+	replyTimer fabric.Timer
+	sendBusy   bool         // a repair burst is being paced out
+	lastNACK   *packet.NACK // most recent request heard, for reply timing
+
+	ldpTimer   fabric.Timer
+	zlcSampled map[scoping.ZoneID]bool
+	injected   map[scoping.ZoneID]bool
+	firstSeen  eventq.Time
+	doneAt     eventq.Time
+	catchUp    bool // late-join recovery group (never counts as loss)
+	dupNACKs   int  // NACKs heard that failed to raise the ZLC
+}
+
+func newGroup(id uint32, k int) *group {
+	return &group{
+		id:         id,
+		k:          k,
+		shares:     make(map[int][]byte),
+		seen:       make([]bool, k),
+		counted:    make([]bool, k),
+		zlc:        make(map[scoping.ZoneID]int),
+		maxShare:   k - 1,
+		reqExp:     1,
+		pending:    make(map[scoping.ZoneID]int),
+		zlcSampled: make(map[scoping.ZoneID]bool),
+		injected:   make(map[scoping.ZoneID]bool),
+	}
+}
+
+// needed returns how many more distinct shares complete the group.
+func (g *group) needed() int {
+	n := g.k - len(g.shares)
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// handleData processes an original data packet.
+func (a *Agent) handleData(now eventq.Time, p *packet.Data) {
+	if a.isSource {
+		return // routing artifact: the source ignores its own stream
+	}
+	a.Stats.DataReceived++
+	a.updateIPT(now)
+	if a.lateJoiner && a.joinSeq < 0 {
+		a.observeStreamPosition(now, int64(p.Seq))
+	}
+
+	g := a.ensureGroup(p.Group)
+	if g.firstSeen == 0 {
+		g.firstSeen = now
+		g.scopeIdx = a.nackScope()
+		a.armLDPTimer(now, g, int(p.Index))
+	}
+	idx := int(p.Index)
+	if !g.seen[idx] {
+		g.seen[idx] = true
+		if _, dup := g.shares[idx]; !dup && !g.complete {
+			g.shares[idx] = p.Payload
+		}
+		if g.counted[idx] {
+			// The packet was presumed lost (a peer's high-water mark
+			// raced ahead of it) but was merely in flight: un-count.
+			g.counted[idx] = false
+			g.llc--
+		}
+	} else {
+		a.Stats.DupShares++
+	}
+
+	// Gap-based loss detection across the whole stream: every original
+	// seq between the previous high-water mark and this packet that we
+	// did not receive was dropped upstream.
+	if int64(p.Seq) > a.maxSeq {
+		for s := a.maxSeq + 1; s < int64(p.Seq); s++ {
+			a.noteLoss(now, uint32(s))
+		}
+		a.maxSeq = int64(p.Seq)
+		if a.sess.MaxSeq < p.Seq+1 {
+			a.sess.MaxSeq = p.Seq + 1
+		}
+	}
+	a.maybeComplete(now, g)
+}
+
+// updateIPT refines the inter-packet-arrival estimate (EWMA over
+// consecutive data arrivals), used for LDP timers and repair spacing.
+func (a *Agent) updateIPT(now eventq.Time) {
+	if !a.iptInit {
+		a.iptInit = true
+		a.lastData = now
+		return
+	}
+	delta := now.Sub(a.lastData).Seconds()
+	a.lastData = now
+	if delta <= 0 || delta > 10*a.cfg.InterPacket() {
+		return // loss gap or idle period; not a cadence sample
+	}
+	a.ipt = 0.75*a.ipt + 0.25*delta
+}
+
+// noteLoss records the loss of original data seq s in its group's LLC
+// and schedules a repair request if the LLC now exceeds the zone loss
+// count (§4 LDP rules).
+func (a *Agent) noteLoss(now eventq.Time, s uint32) {
+	k := uint32(a.cfg.GroupK)
+	gid := s / k
+	idx := int(s % k)
+	g := a.ensureGroup(gid)
+	if g.firstSeen == 0 {
+		g.firstSeen = now
+		g.scopeIdx = a.nackScope()
+		a.armLDPTimer(now, g, idx)
+	}
+	if g.seen[idx] || g.counted[idx] {
+		return
+	}
+	g.counted[idx] = true
+	g.llc++
+	if g.complete {
+		return
+	}
+	scope := a.scopeZone(g.scopeIdx)
+	if g.llc > g.zlc[scope] {
+		a.armRequestTimer(now, g)
+	}
+}
+
+// armLDPTimer sets the loss-detection-phase timer: the estimated time by
+// which the group's remaining packets should arrive, plus slack.
+func (a *Agent) armLDPTimer(now eventq.Time, g *group, idxSeen int) {
+	remaining := float64(g.k-1-idxSeen) + a.cfg.LDPSlackPackets
+	if remaining < a.cfg.LDPSlackPackets {
+		remaining = a.cfg.LDPSlackPackets
+	}
+	d := eventq.Duration(remaining * a.ipt)
+	g.ldpTimer = a.net.Sched().After(d, func(fire eventq.Time) { a.ldpExpired(fire, g) })
+}
+
+// ldpExpired ends the loss-detection phase: any unseen original packets
+// are counted as lost and the repair phase begins.
+func (a *Agent) ldpExpired(now eventq.Time, g *group) {
+	if a.stopped {
+		return
+	}
+	// Receiver report (§7 extension): the fraction of original packets
+	// that failed to arrive in this group feeds the member's published
+	// reception quality, aggregated up the ZCR hierarchy.
+	if !g.catchUp {
+		base := int(g.id) * a.cfg.GroupK
+		for idx := 0; idx < g.k && base+idx < a.cfg.NumPackets; idx++ {
+			a.rrTotal++
+			if !g.seen[idx] {
+				a.rrLost++
+			}
+		}
+		if a.rrTotal > 0 {
+			a.sess.SetLocalLossReport(float64(a.rrLost) / float64(a.rrTotal))
+		}
+	}
+	if g.complete {
+		return
+	}
+	base := g.id * uint32(a.cfg.GroupK)
+	for idx := 0; idx < g.k; idx++ {
+		if int(base)+idx >= a.cfg.NumPackets {
+			break
+		}
+		if !g.seen[idx] && !g.counted[idx] {
+			g.counted[idx] = true
+			g.llc++
+		}
+	}
+	g.inRepair = true
+	if g.needed() > 0 {
+		scope := a.scopeZone(g.scopeIdx)
+		if g.llc > g.zlc[scope] || g.outstanding < g.needed() {
+			a.armRequestTimer(now, g)
+		}
+	}
+}
+
+// armRequestTimer starts (or restarts) the NACK request timer with the
+// paper's window: uniform on 2^i·[C1·d, (C1+C2)·d], d = dist to source.
+func (a *Agent) armRequestTimer(now eventq.Time, g *group) {
+	if g.complete {
+		return
+	}
+	if g.reqTimer != nil && g.reqTimer.Active() {
+		return
+	}
+	if g.reqExp > 6 {
+		g.reqExp = 6 // cap the back-off so retries stay timely
+	}
+	d := a.distToSource()
+	c1, c2 := a.timerC1C2()
+	factor := float64(uint(1) << uint(g.reqExp))
+	lo := factor * c1 * d
+	hi := factor * (c1 + c2) * d
+	delay := eventq.Duration(a.rng.Uniform(lo, hi))
+	g.reqTimer = a.net.Sched().After(delay, func(fire eventq.Time) { a.requestTimerFired(fire, g) })
+}
+
+// requestTimerFired sends a NACK if the group still needs repairs that
+// nobody else has requested, escalating scope after EscalateAfter
+// attempts per zone (§4 RP rules).
+func (a *Agent) requestTimerFired(now eventq.Time, g *group) {
+	if a.stopped {
+		return
+	}
+	if g.complete {
+		return
+	}
+	needed := g.needed()
+	if !g.inRepair {
+		// During the loss-detection phase later group packets are
+		// still in flight: request only for detected losses, and only
+		// while our LLC exceeds the zone's (§4 LDP rules).
+		scope := a.scopeZone(g.scopeIdx)
+		if g.llc <= g.zlc[scope] {
+			return
+		}
+		if n := g.llc - g.repairsHeard; n < needed {
+			needed = n
+		}
+	}
+	if needed <= 0 {
+		return
+	}
+	// Suppression at fire time: enough repairs are already on order.
+	// The in-flight estimate decays each suppressed round so that
+	// repairs lost on the way to us are eventually re-requested.
+	// The decay alone paces retries (adding back-off here compounds
+	// into minutes-long stalls for receivers behind very lossy tails).
+	if g.outstanding >= needed {
+		a.Stats.NACKsSuppressed++
+		g.outstanding /= 2
+		a.armRequestTimer(now, g)
+		return
+	}
+	if g.attempts >= a.cfg.EscalateAfter && g.scopeIdx < len(a.chain)-1 {
+		g.scopeIdx++
+		g.attempts = 0
+		a.Stats.ScopeEscalations++
+	}
+	scope := a.scopeZone(g.scopeIdx)
+	llc := g.llc
+	if llc > 255 {
+		llc = 255
+	}
+	nack := &packet.NACK{
+		Origin:    a.node,
+		Group:     g.id,
+		LLC:       uint8(llc),
+		Needed:    uint8(min(needed, 255)),
+		MaxSeq:    uint32(a.maxSeq + 1), // one past the high-water mark
+		Zone:      int16(scope),
+		Ancestors: a.sess.AncestorList(),
+	}
+	a.net.Multicast(a.node, scope, nack)
+	a.Stats.NACKsSent++
+	g.attempts++
+	if g.zlc[scope] < g.llc {
+		g.zlc[scope] = g.llc // our own NACK sets the new ZLC
+	}
+	g.outstanding = needed
+	// Re-arm at the current back-off so lost repairs are re-requested;
+	// i itself only grows on suppression events (§4 LDP rules).
+	a.armRequestTimer(now, g)
+}
+
+// handleNACK processes a repair request heard at scope zone(p.Zone).
+func (a *Agent) handleNACK(now eventq.Time, p *packet.NACK) {
+	scope := scoping.ZoneID(p.Zone)
+	g := a.ensureGroup(p.Group)
+
+	if a.lateJoiner && a.joinSeq < 0 {
+		a.observeStreamPosition(now, int64(p.MaxSeq)-1)
+	}
+	// Tail-loss discovery from the NACK's high-water mark (§4: "checks
+	// to see if the NACK's last received packet identifier causes the
+	// detection of any further lost packets").
+	if hw := int64(p.MaxSeq) - 1; hw > a.maxSeq && !a.isSource {
+		for s := a.maxSeq + 1; s <= hw; s++ {
+			a.noteLoss(now, uint32(s))
+		}
+		a.maxSeq = hw
+	}
+
+	// ZLC bookkeeping and NACK suppression.
+	prevZLC := g.zlc[scope]
+	increased := false
+	if int(p.LLC) > prevZLC {
+		g.zlc[scope] = int(p.LLC)
+		increased = true
+	}
+	if !g.complete {
+		if g.llc <= g.zlc[scope] && g.reqTimer != nil && g.reqTimer.Active() {
+			// Their request covers ours; suppress this round (the
+			// timer re-arms with backoff so lost repairs still get
+			// re-requested).
+			g.reqTimer.Stop()
+			a.Stats.NACKsSuppressed++
+			g.reqExp++
+			a.armRequestTimer(now, g)
+		} else if !increased {
+			// §4: a NACK that does not increase the ZLC backs the
+			// request timer off.
+			g.reqExp++
+		}
+	}
+	if !increased {
+		// Duplication evidence for timer adaptation, observed whether
+		// or not this hearer still needs the group.
+		g.dupNACKs++
+	}
+	if int(p.Needed) > g.outstanding {
+		g.outstanding = int(p.Needed)
+	}
+
+	// Speculative reply queue for repairers (§4): remember how many
+	// repairs this zone needs and schedule a reply. The sender and the
+	// scope's ZCR serve immediately (their repairs are authoritative
+	// for the zone); other repairers wait out a suppression timer.
+	if a.canRepair() && a.memberOf(scope) {
+		if int(p.Needed) > g.pending[scope] {
+			g.pending[scope] = int(p.Needed)
+		}
+		g.lastNACK = p
+		if g.complete {
+			if a.isSource || a.isZCR(scope) {
+				a.serveQueuedRepairs(now, g)
+			} else {
+				a.armReplyTimer(now, g, p)
+			}
+		}
+		// Incomplete repairers serve the queue once they complete.
+	}
+}
+
+// memberOf reports whether this node belongs to zone z.
+func (a *Agent) memberOf(z scoping.ZoneID) bool {
+	if z == a.root {
+		return true
+	}
+	return a.net.Hierarchy().Contains(z, a.node)
+}
+
+// handleRepair processes an FEC repair share.
+func (a *Agent) handleRepair(now eventq.Time, p *packet.Repair) {
+	a.Stats.RepairsReceived++
+	g := a.ensureGroup(p.Group)
+	scope := scoping.ZoneID(p.Zone)
+
+	// The announced burst end ("what will be the new highest packet
+	// identifier", §4) both moves the share high-water mark and credits
+	// the entire in-flight burst against request/reply queues at once —
+	// the paper's defence against duplicate repairs from racing
+	// repairers.
+	oldMax := g.maxShare
+	if int(p.Index) > g.maxShare {
+		g.maxShare = int(p.Index)
+	}
+	if int(p.NewMaxSeq) > g.maxShare {
+		g.maxShare = int(p.NewMaxSeq)
+	}
+	credit := g.maxShare - oldMax
+	if credit < 1 {
+		credit = 1
+	}
+
+	if !g.complete {
+		if _, dup := g.shares[int(p.Index)]; dup {
+			a.Stats.DupShares++
+		} else {
+			g.shares[int(p.Index)] = p.Payload
+			if int(p.Index) >= g.k {
+				g.repairsHeard++
+			}
+		}
+	} else if int(p.Index) >= g.k {
+		g.repairsHeard++
+	}
+
+	// A repair resets the request backoff (§4) and counts against both
+	// what we asked for and what we owe (repairs from larger zones are
+	// heard by, and credit, the smaller ones).
+	g.reqExp = 1
+	g.outstanding -= credit
+	if g.outstanding < 0 {
+		g.outstanding = 0
+	}
+	for _, z := range a.chain {
+		if g.pending[z] > 0 && a.net.Hierarchy().IsAncestor(scope, z) {
+			g.pending[z] -= credit
+			if g.pending[z] < 0 {
+				g.pending[z] = 0
+			}
+		}
+	}
+	// Cancel the reply timer only once the whole repair is covered.
+	if g.replyTimer != nil && g.replyTimer.Active() && a.totalPending(g) == 0 {
+		g.replyTimer.Stop()
+	}
+	a.maybeComplete(now, g)
+}
+
+func (a *Agent) totalPending(g *group) int {
+	t := 0
+	for _, n := range g.pending {
+		t += n
+	}
+	return t
+}
+
+// maybeComplete reconstructs the group once K distinct shares are held,
+// fires the completion callback, and turns the node into a repairer.
+func (a *Agent) maybeComplete(now eventq.Time, g *group) {
+	if g.complete || len(g.shares) < g.k {
+		return
+	}
+	shares := make([]fec.Share, 0, len(g.shares))
+	for idx, payload := range g.shares {
+		shares = append(shares, fec.Share{Index: idx, Data: payload})
+	}
+	data, err := a.codec.Decode(shares)
+	if err != nil {
+		// Cannot happen with k distinct valid shares; treat as still
+		// incomplete so the protocol keeps requesting.
+		return
+	}
+	g.complete = true
+	g.doneAt = now
+	g.data = data
+	g.shares = nil // release share buffers; data holds the originals
+	a.Stats.GroupsCompleted++
+	if g.reqTimer != nil {
+		g.reqTimer.Stop()
+	}
+	// The LDP timer deliberately keeps running: its expiry also samples
+	// the group's arrival quality for the receiver report.
+	if a.OnComplete != nil {
+		a.OnComplete(now, g.id, data)
+	}
+	if g.catchUp {
+		a.catchUpDone(now, g)
+	}
+	a.scheduleTimerAdaptation(g)
+	a.becomeRepairer(now, g)
+	// Ordinary receivers retire the payloads after a grace period;
+	// the source and ZCRs stay able to repair indefinitely.
+	if a.cfg.RetainData > 0 && !a.isSource {
+		a.net.Sched().After(eventq.Duration(a.cfg.RetainData), func(eventq.Time) {
+			if !a.anyZCRDuty() {
+				g.data = nil
+			}
+		})
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"sharqfec/internal/eventq"
+	"sharqfec/internal/packet"
+	"sharqfec/internal/scoping"
+)
+
+// This file implements the repairer half of §4's Repair Phase: reply
+// timers with RTT-proportional suppression, paced repair bursts, ZCR
+// preemptive injection, and the EWMA predicted-ZLC maintenance.
+
+// becomeRepairer runs when a node completes a group. ZCRs inject
+// predicted redundancy into their zones and serve their speculative
+// queues; ordinary receivers serve queued NACKs through reply timers.
+func (a *Agent) becomeRepairer(now eventq.Time, g *group) {
+	if !a.canRepair() {
+		return
+	}
+	if a.cfg.Options.Scoping && a.cfg.Options.Injection {
+		for _, z := range a.chain {
+			if z == a.root || !a.isZCR(z) || g.injected[z] {
+				continue
+			}
+			g.injected[z] = true
+			// Inject the predicted zone loss, net of the redundancy
+			// that already flowed into the zone with the group
+			// (repairs heard from upstream injections): "should too
+			// much redundancy be injected at one level, receivers in
+			// subservient zones will add less" (§3.2).
+			h := int(a.predZLC[z]+0.5) - g.repairsHeard
+			if h > 0 {
+				a.injectRepairs(now, g, z, h)
+				a.Stats.RepairsInjected += h
+			}
+		}
+	}
+	if a.cfg.Options.Scoping {
+		for _, z := range a.chain {
+			if a.isZCR(z) && z != a.root {
+				a.scheduleZLCSample(now, g, z)
+			}
+		}
+	}
+	// ZCRs "generate and transmit the first of any additional queued
+	// repairs to the zone for which they are responsible" immediately;
+	// other repairers wait out a suppression reply timer before serving
+	// requests that queued while the group was incomplete.
+	if a.anyZCRDuty() {
+		a.serveQueuedRepairs(now, g)
+	} else if a.totalPending(g) > 0 {
+		a.armReplyTimer(now, g, g.lastNACK)
+	}
+}
+
+// anyZCRDuty reports whether this agent heads any zone (or is the
+// source, which heads the root).
+func (a *Agent) anyZCRDuty() bool {
+	if a.isSource {
+		return true
+	}
+	if !a.cfg.Options.Scoping {
+		return false
+	}
+	for _, z := range a.chain {
+		if a.isZCR(z) {
+			return true
+		}
+	}
+	return false
+}
+
+// armReplyTimer schedules a suppressed reply to a NACK: uniform on
+// [D1·d, (D1+D2)·d] where d is the estimated one-way distance to the
+// NACK's sender. Increases to the queue do not reset a pending timer
+// (§4), and there is no reply back-off.
+func (a *Agent) armReplyTimer(now eventq.Time, g *group, nack *packet.NACK) {
+	if g.replyTimer != nil && g.replyTimer.Active() {
+		return
+	}
+	if g.sendBusy {
+		return // a burst is already being paced out
+	}
+	d := a.cfg.Session.DefaultDist
+	if nack != nil {
+		d = a.sess.Dist(nack.Origin, nack.Ancestors)
+	}
+	delay := eventq.Duration(a.rng.Uniform(a.cfg.D1*d, (a.cfg.D1+a.cfg.D2)*d))
+	g.replyTimer = a.net.Sched().After(delay, func(fire eventq.Time) {
+		a.serveQueuedRepairs(fire, g)
+	})
+}
+
+// serveQueuedRepairs sends the speculative repair queue for every zone
+// this agent can serve, widest scope first so one repair covers as many
+// nested queues as possible.
+func (a *Agent) serveQueuedRepairs(now eventq.Time, g *group) {
+	if a.stopped {
+		return
+	}
+	if !g.complete || g.sendBusy {
+		return
+	}
+	// Serve from the widest zone down: repairs at a wide scope are
+	// heard by (and decrement) every nested queue.
+	for i := len(a.chain) - 1; i >= 0; i-- {
+		z := a.chain[i]
+		n := g.pending[z]
+		if n <= 0 {
+			continue
+		}
+		// Shrink nested queues covered by this transmission.
+		for j := 0; j <= i; j++ {
+			inner := a.chain[j]
+			if a.net.Hierarchy().IsAncestor(z, inner) || !a.cfg.Options.Scoping {
+				g.pending[inner] = maxInt(0, g.pending[inner]-n)
+			}
+		}
+		g.pending[z] = 0
+		a.sendRepairBurst(now, g, z, n)
+		return // pace one zone at a time; the burst end re-checks
+	}
+}
+
+// sendRepairBurst transmits n fresh repair shares to zone z, spaced by
+// RepairSpacing × the inter-packet interval (§4 RP sender rule), then
+// re-checks the queues.
+func (a *Agent) sendRepairBurst(now eventq.Time, g *group, z scoping.ZoneID, n int) {
+	first, last := g.maxShare+1, g.maxShare+n
+	if last >= a.codecMaxShare() {
+		last = a.codecMaxShare() - 1
+	}
+	if first > last {
+		return
+	}
+	g.maxShare = last
+	g.sendBusy = true
+	spacing := a.cfg.RepairSpacing * a.ipt
+	for idx := first; idx <= last; idx++ {
+		idx := idx
+		offset := eventq.Duration(float64(idx-first) * spacing)
+		a.net.Sched().After(offset, func(fire eventq.Time) {
+			a.transmitRepair(fire, g, z, idx, last)
+		})
+	}
+	a.net.Sched().After(eventq.Duration(float64(last-first+1)*spacing), func(fire eventq.Time) {
+		g.sendBusy = false
+		a.serveQueuedRepairs(fire, g)
+	})
+}
+
+// transmitRepair encodes and multicasts one repair share.
+func (a *Agent) transmitRepair(now eventq.Time, g *group, z scoping.ZoneID, idx, burstMax int) {
+	if a.stopped {
+		return
+	}
+	data := a.groupData(g)
+	if data == nil {
+		return
+	}
+	share, err := a.codec.Repair(data, idx)
+	if err != nil {
+		return
+	}
+	rep := &packet.Repair{
+		Origin:    a.node,
+		Group:     g.id,
+		Index:     uint8(share.Index),
+		GroupK:    uint8(g.k),
+		NewMaxSeq: uint32(burstMax),
+		Zone:      int16(z),
+		Payload:   share.Data,
+	}
+	a.net.Multicast(a.node, z, rep)
+	a.Stats.RepairsSent++
+}
+
+// injectRepairs preemptively sends h repair shares into zone z (ZCR
+// automatic injection, or the sender's per-group redundancy).
+func (a *Agent) injectRepairs(now eventq.Time, g *group, z scoping.ZoneID, h int) {
+	a.sendRepairBurst(now, g, z, h)
+}
+
+// groupData returns the original payloads for a completed group (the
+// source reads its transmit buffer; receivers their decoded data).
+func (a *Agent) groupData(g *group) [][]byte {
+	if a.isSource {
+		return a.sendData[g.id]
+	}
+	return g.data
+}
+
+// codecMaxShare returns the exclusive upper bound on share indices.
+func (a *Agent) codecMaxShare() int { return 255 }
+
+// scheduleZLCSample arms the predicted-ZLC measurement for zone z: the
+// true ZLC is known 2.5 RTTs (to the most distant member) after the
+// group ends (§4), at which point the EWMA filter absorbs it. When no
+// NACK reported a loss, the agent's own LLC stands in for the ZLC.
+func (a *Agent) scheduleZLCSample(now eventq.Time, g *group, z scoping.ZoneID) {
+	if g.zlcSampled[z] {
+		return
+	}
+	g.zlcSampled[z] = true
+	wait := eventq.Duration(a.cfg.ZLCWaitRTTs * a.sess.MostDistantRTT(z))
+	a.net.Sched().After(wait, func(eventq.Time) {
+		sample := float64(g.zlc[z])
+		if sample == 0 {
+			sample = float64(g.llc)
+		}
+		a.predZLC[z] = a.cfg.EWMAOld*a.predZLC[z] + a.cfg.EWMANew*sample
+	})
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,195 @@
+// Package eventq implements the discrete-event core of the simulator:
+// a virtual clock, a binary-heap event queue, and cancellable timers.
+//
+// All protocol and network behaviour in this repository is driven by a
+// single Queue per simulation. Events scheduled for the same instant are
+// dispatched in FIFO order (a strictly increasing sequence number breaks
+// ties), which keeps simulations fully deterministic for a given seed.
+package eventq
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a point in simulated time, measured in seconds since the start
+// of the simulation. float64 seconds are what the paper's scenario is
+// specified in (t=1 s join, t=6 s source on, 0.1 s measurement bins) and
+// give sub-nanosecond resolution over the minutes-long runs used here.
+type Time float64
+
+// Duration is a span of simulated time in seconds.
+type Duration float64
+
+// Seconds returns the time as a plain float64 second count.
+func (t Time) Seconds() float64 { return float64(t) }
+
+// Add returns the time advanced by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration between t and u (t - u).
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// String formats the time with millisecond precision, e.g. "12.345s".
+func (t Time) String() string { return fmt.Sprintf("%.3fs", float64(t)) }
+
+// Std converts a simulated duration to a time.Duration for display.
+func (d Duration) Std() time.Duration { return time.Duration(float64(d) * float64(time.Second)) }
+
+// Seconds returns the duration as a plain float64 second count.
+func (d Duration) Seconds() float64 { return float64(d) }
+
+// Never is a sentinel time later than any event a simulation schedules.
+const Never = Time(math.MaxFloat64)
+
+// Handler is the callback invoked when an event fires. It runs on the
+// simulation goroutine; it may schedule further events but must not block.
+type Handler func(now Time)
+
+// event is a single queue entry.
+type event struct {
+	at      Time
+	seq     uint64 // FIFO tie-break for identical timestamps
+	fn      Handler
+	index   int // heap index, -1 once popped or cancelled
+	stopped bool
+}
+
+// Timer is a handle to a scheduled event that can be stopped or queried.
+type Timer struct {
+	q  *Queue
+	ev *event
+}
+
+// Stop cancels the timer. It reports whether the call prevented the
+// handler from firing (false if it already fired or was already stopped).
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.stopped || t.ev.index < 0 {
+		return false
+	}
+	t.ev.stopped = true
+	heap.Remove(&t.q.h, t.ev.index)
+	return true
+}
+
+// Active reports whether the timer is still pending.
+func (t *Timer) Active() bool {
+	return t != nil && t.ev != nil && !t.ev.stopped && t.ev.index >= 0
+}
+
+// When returns the simulated time at which the timer will fire.
+// It is meaningful only while Active.
+func (t *Timer) When() Time { return t.ev.at }
+
+// Queue is a discrete-event queue with a virtual clock.
+// The zero value is ready to use.
+type Queue struct {
+	h         evHeap
+	now       Time
+	seq       uint64
+	dispatchN uint64
+}
+
+// Now returns the current simulated time.
+func (q *Queue) Now() Time { return q.now }
+
+// Len returns the number of pending events.
+func (q *Queue) Len() int { return len(q.h) }
+
+// Dispatched returns the number of events executed so far.
+func (q *Queue) Dispatched() uint64 { return q.dispatchN }
+
+// At schedules fn to run at absolute time at. Scheduling in the past
+// (before Now) is clamped to Now: the event runs next, preserving order.
+func (q *Queue) At(at Time, fn Handler) *Timer {
+	if at < q.now {
+		at = q.now
+	}
+	ev := &event{at: at, seq: q.seq, fn: fn}
+	q.seq++
+	heap.Push(&q.h, ev)
+	return &Timer{q: q, ev: ev}
+}
+
+// After schedules fn to run d after the current simulated time.
+// Negative d is treated as zero.
+func (q *Queue) After(d Duration, fn Handler) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return q.At(q.now.Add(d), fn)
+}
+
+// Step dispatches the earliest pending event, advancing the clock to its
+// timestamp. It reports false when the queue is empty.
+func (q *Queue) Step() bool {
+	for len(q.h) > 0 {
+		ev := heap.Pop(&q.h).(*event)
+		if ev.stopped {
+			continue
+		}
+		q.now = ev.at
+		q.dispatchN++
+		ev.fn(q.now)
+		return true
+	}
+	return false
+}
+
+// Run dispatches events until the queue is empty.
+func (q *Queue) Run() {
+	for q.Step() {
+	}
+}
+
+// RunUntil dispatches events with timestamps <= end, then advances the
+// clock to end (if the clock has not already passed it). Events scheduled
+// after end remain queued.
+func (q *Queue) RunUntil(end Time) {
+	for len(q.h) > 0 {
+		ev := q.h[0]
+		if ev.stopped {
+			heap.Pop(&q.h)
+			continue
+		}
+		if ev.at > end {
+			break
+		}
+		q.Step()
+	}
+	if q.now < end {
+		q.now = end
+	}
+}
+
+// evHeap orders events by (time, seq).
+type evHeap []*event
+
+func (h evHeap) Len() int { return len(h) }
+func (h evHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h evHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *evHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *evHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}

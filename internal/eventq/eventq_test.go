@@ -1,0 +1,289 @@
+package eventq
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroQueueUsable(t *testing.T) {
+	var q Queue
+	if q.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", q.Now())
+	}
+	if q.Step() {
+		t.Fatal("Step on empty queue returned true")
+	}
+}
+
+func TestDispatchOrder(t *testing.T) {
+	var q Queue
+	var got []int
+	q.At(3, func(Time) { got = append(got, 3) })
+	q.At(1, func(Time) { got = append(got, 1) })
+	q.At(2, func(Time) { got = append(got, 2) })
+	q.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dispatch order %v, want %v", got, want)
+		}
+	}
+	if q.Now() != 3 {
+		t.Fatalf("clock = %v, want 3", q.Now())
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	var q Queue
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		q.At(5, func(Time) { got = append(got, i) })
+	}
+	q.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: got[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestClockAdvancesToEventTime(t *testing.T) {
+	var q Queue
+	var at Time
+	q.At(7.5, func(now Time) { at = now })
+	q.Run()
+	if at != 7.5 {
+		t.Fatalf("handler saw now = %v, want 7.5", at)
+	}
+}
+
+func TestAfterRelative(t *testing.T) {
+	var q Queue
+	var second Time
+	q.At(2, func(now Time) {
+		q.After(3, func(now2 Time) { second = now2 })
+	})
+	q.Run()
+	if second != 5 {
+		t.Fatalf("After(3) from t=2 fired at %v, want 5", second)
+	}
+}
+
+func TestPastSchedulingClampsToNow(t *testing.T) {
+	var q Queue
+	var fired Time
+	q.At(10, func(now Time) {
+		q.At(1, func(now2 Time) { fired = now2 }) // in the past
+	})
+	q.Run()
+	if fired != 10 {
+		t.Fatalf("past event fired at %v, want clamped to 10", fired)
+	}
+}
+
+func TestNegativeAfterClamps(t *testing.T) {
+	var q Queue
+	var fired Time
+	q.At(4, func(Time) {
+		q.After(-1, func(now Time) { fired = now })
+	})
+	q.Run()
+	if fired != 4 {
+		t.Fatalf("negative After fired at %v, want 4", fired)
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	var q Queue
+	fired := false
+	tm := q.At(1, func(Time) { fired = true })
+	if !tm.Active() {
+		t.Fatal("timer should be active before firing")
+	}
+	if !tm.Stop() {
+		t.Fatal("Stop returned false on pending timer")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop returned true")
+	}
+	q.Run()
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+	if tm.Active() {
+		t.Fatal("stopped timer still active")
+	}
+}
+
+func TestTimerStopAfterFire(t *testing.T) {
+	var q Queue
+	tm := q.At(1, func(Time) {})
+	q.Run()
+	if tm.Stop() {
+		t.Fatal("Stop after fire returned true")
+	}
+	if tm.Active() {
+		t.Fatal("fired timer reports active")
+	}
+}
+
+func TestStopOneOfMany(t *testing.T) {
+	var q Queue
+	var got []int
+	var timers []*Timer
+	for i := 0; i < 10; i++ {
+		i := i
+		timers = append(timers, q.At(Time(i), func(Time) { got = append(got, i) }))
+	}
+	timers[4].Stop()
+	timers[7].Stop()
+	q.Run()
+	if len(got) != 8 {
+		t.Fatalf("got %d events, want 8", len(got))
+	}
+	for _, v := range got {
+		if v == 4 || v == 7 {
+			t.Fatalf("cancelled event %d fired", v)
+		}
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	var q Queue
+	var got []Time
+	for _, at := range []Time{1, 2, 3, 4, 5} {
+		at := at
+		q.At(at, func(now Time) { got = append(got, now) })
+	}
+	q.RunUntil(3)
+	if len(got) != 3 {
+		t.Fatalf("RunUntil(3) dispatched %d events, want 3", len(got))
+	}
+	if q.Now() != 3 {
+		t.Fatalf("clock = %v, want 3", q.Now())
+	}
+	if q.Len() != 2 {
+		t.Fatalf("pending = %d, want 2", q.Len())
+	}
+	q.RunUntil(10)
+	if q.Now() != 10 {
+		t.Fatalf("clock = %v, want 10 after RunUntil past all events", q.Now())
+	}
+	if len(got) != 5 {
+		t.Fatalf("total dispatched %d, want 5", len(got))
+	}
+}
+
+func TestRunUntilAdvancesEmptyClock(t *testing.T) {
+	var q Queue
+	q.RunUntil(42)
+	if q.Now() != 42 {
+		t.Fatalf("clock = %v, want 42", q.Now())
+	}
+}
+
+func TestDispatchedCounter(t *testing.T) {
+	var q Queue
+	for i := 0; i < 5; i++ {
+		q.At(Time(i), func(Time) {})
+	}
+	q.At(9, func(Time) {}).Stop()
+	q.Run()
+	if q.Dispatched() != 5 {
+		t.Fatalf("Dispatched = %d, want 5", q.Dispatched())
+	}
+}
+
+func TestTimerWhen(t *testing.T) {
+	var q Queue
+	tm := q.At(6.25, func(Time) {})
+	if tm.When() != 6.25 {
+		t.Fatalf("When = %v, want 6.25", tm.When())
+	}
+}
+
+func TestNilTimerStopSafe(t *testing.T) {
+	var tm *Timer
+	if tm.Stop() {
+		t.Fatal("nil timer Stop returned true")
+	}
+	if tm.Active() {
+		t.Fatal("nil timer Active returned true")
+	}
+}
+
+// Property: regardless of insertion order, events dispatch in nondecreasing
+// time order and the clock never goes backwards.
+func TestPropertyMonotoneDispatch(t *testing.T) {
+	f := func(times []float64) bool {
+		var q Queue
+		var got []Time
+		for _, ft := range times {
+			at := Time(ft)
+			if at < 0 {
+				at = -at
+			}
+			q.At(at, func(now Time) { got = append(got, now) })
+		}
+		q.Run()
+		return sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a random interleaving of schedules and cancels dispatches
+// exactly the non-cancelled events.
+func TestPropertyCancelConsistency(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 1))
+		var q Queue
+		fired := map[int]bool{}
+		cancelled := map[int]bool{}
+		var timers []*Timer
+		count := int(n%64) + 1
+		for i := 0; i < count; i++ {
+			i := i
+			timers = append(timers, q.At(Time(rng.Float64()*100), func(Time) { fired[i] = true }))
+		}
+		for i, tm := range timers {
+			if rng.IntN(3) == 0 {
+				tm.Stop()
+				cancelled[i] = true
+			}
+		}
+		q.Run()
+		for i := 0; i < count; i++ {
+			if cancelled[i] == fired[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeHelpers(t *testing.T) {
+	tt := Time(1.5)
+	if tt.Add(2.5) != 4 {
+		t.Fatalf("Add: got %v", tt.Add(2.5))
+	}
+	if Time(4).Sub(1.5) != 2.5 {
+		t.Fatalf("Sub: got %v", Time(4).Sub(1.5))
+	}
+	if tt.Seconds() != 1.5 {
+		t.Fatalf("Seconds: got %v", tt.Seconds())
+	}
+	if tt.String() != "1.500s" {
+		t.Fatalf("String: got %q", tt.String())
+	}
+	if Duration(0.25).Std().Milliseconds() != 250 {
+		t.Fatalf("Std: got %v", Duration(0.25).Std())
+	}
+}

@@ -1,0 +1,64 @@
+// Package fabric defines the seam between the protocol engines
+// (internal/core, internal/session, internal/srm) and whatever carries
+// their packets. Two implementations exist:
+//
+//   - internal/netsim: the deterministic discrete-event simulator used
+//     for every experiment in the paper's evaluation, and
+//   - internal/udpmesh: a wall-clock binding that exchanges the same
+//     wire-encoded packets over real UDP sockets.
+//
+// The protocols only ever talk to these interfaces, so they run
+// unchanged on either substrate.
+package fabric
+
+import (
+	"sharqfec/internal/eventq"
+	"sharqfec/internal/packet"
+	"sharqfec/internal/scoping"
+	"sharqfec/internal/topology"
+)
+
+// Delivery is one packet arriving at a node.
+type Delivery struct {
+	From  topology.NodeID
+	Scope scoping.ZoneID
+	Pkt   packet.Packet
+}
+
+// Agent is a protocol endpoint attached to a node. Receive is always
+// invoked serially for a given agent (the simulator is single-threaded;
+// the UDP mesh serializes per node), and must not block.
+type Agent interface {
+	Receive(now eventq.Time, d Delivery)
+}
+
+// Timer is a cancellable scheduled callback.
+type Timer interface {
+	// Stop cancels the timer, reporting whether it prevented the fire.
+	Stop() bool
+	// Active reports whether the timer is still pending.
+	Active() bool
+}
+
+// Scheduler provides time and timers. In the simulator, time is virtual
+// and deterministic; in the UDP mesh it is the wall clock measured from
+// process start.
+type Scheduler interface {
+	// Now returns the current time.
+	Now() eventq.Time
+	// After schedules fn to run d from now.
+	After(d eventq.Duration, fn func(now eventq.Time)) Timer
+}
+
+// Network is what a protocol engine needs from its substrate.
+type Network interface {
+	// Sched returns the node's scheduler.
+	Sched() Scheduler
+	// Hierarchy returns the administrative zone layout.
+	Hierarchy() *scoping.Hierarchy
+	// Multicast sends pkt to every member of zone other than the
+	// sender.
+	Multicast(from topology.NodeID, zone scoping.ZoneID, pkt packet.Packet)
+	// Attach binds an agent to a node.
+	Attach(node topology.NodeID, a Agent)
+}

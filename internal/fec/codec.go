@@ -1,0 +1,177 @@
+package fec
+
+import (
+	"errors"
+	"fmt"
+)
+
+// MaxShares is the largest total number of distinct shares (data + repair)
+// a single codec can produce, bounded by the field size.
+const MaxShares = 255
+
+// Codec is a systematic Reed–Solomon erasure codec for groups of K data
+// shares. Share indices 0..K-1 are the data shares verbatim; indices
+// K..MaxShares-1 are repair shares. Any K shares with distinct indices
+// reconstruct the group. Codec is safe for concurrent use: all methods
+// only read the generator matrix.
+type Codec struct {
+	k   int
+	gen *matrix // MaxShares × k systematic generator: top k rows = identity
+}
+
+// NewCodec builds a codec for groups of k data shares (1 <= k <= MaxShares).
+func NewCodec(k int) (*Codec, error) {
+	if k < 1 || k > MaxShares {
+		return nil, fmt.Errorf("fec: k must be in [1, %d], got %d", MaxShares, k)
+	}
+	v := vandermonde(MaxShares, k)
+	top, err := v.subMatrixRows(seq(k)).invert()
+	if err != nil {
+		// Cannot happen: the top k rows of a Vandermonde matrix with
+		// distinct points are always invertible.
+		return nil, err
+	}
+	return &Codec{k: k, gen: v.mul(top)}, nil
+}
+
+// K returns the number of data shares per group.
+func (c *Codec) K() int { return c.k }
+
+// Share is one encoded share of a group.
+type Share struct {
+	// Index identifies the share: 0..K-1 are data shares, >= K repairs.
+	Index int
+	// Data is the share payload. All shares of a group have equal length.
+	Data []byte
+}
+
+// Repair produces the repair share with the given index (K <= index <
+// MaxShares) from the full set of data shares. data must contain exactly K
+// equal-length slices.
+func (c *Codec) Repair(data [][]byte, index int) (Share, error) {
+	if err := c.checkData(data); err != nil {
+		return Share{}, err
+	}
+	if index < c.k || index >= MaxShares {
+		return Share{}, fmt.Errorf("fec: repair index %d out of range [%d, %d)", index, c.k, MaxShares)
+	}
+	out := make([]byte, len(data[0]))
+	row := c.gen.row(index)
+	for j, coeff := range row {
+		addMulSlice(out, data[j], coeff)
+	}
+	return Share{Index: index, Data: out}, nil
+}
+
+// Repairs produces h consecutive repair shares starting at index K.
+func (c *Codec) Repairs(data [][]byte, h int) ([]Share, error) {
+	if h < 0 || c.k+h > MaxShares {
+		return nil, fmt.Errorf("fec: cannot produce %d repairs for k=%d", h, c.k)
+	}
+	shares := make([]Share, 0, h)
+	for i := 0; i < h; i++ {
+		s, err := c.Repair(data, c.k+i)
+		if err != nil {
+			return nil, err
+		}
+		shares = append(shares, s)
+	}
+	return shares, nil
+}
+
+// ErrInsufficientShares is returned by Decode when fewer than K distinct
+// shares are supplied.
+var ErrInsufficientShares = errors.New("fec: insufficient shares to decode")
+
+// Decode reconstructs the K data shares from any K (or more) shares with
+// distinct indices. Extra shares beyond K are ignored. The returned slice
+// has length K with data[i] the i'th original data share. Data shares
+// present in the input are returned by reference (not copied); treat
+// share buffers as immutable.
+func (c *Codec) Decode(shares []Share) ([][]byte, error) {
+	// Select k distinct shares, preferring data shares (free to place).
+	chosen := make(map[int]Share, c.k)
+	for _, s := range shares {
+		if s.Index < 0 || s.Index >= MaxShares {
+			return nil, fmt.Errorf("fec: share index %d out of range", s.Index)
+		}
+		if _, dup := chosen[s.Index]; !dup {
+			chosen[s.Index] = s
+		}
+	}
+	if len(chosen) < c.k {
+		return nil, fmt.Errorf("%w: have %d distinct, need %d", ErrInsufficientShares, len(chosen), c.k)
+	}
+	// Deterministic selection: data shares first, then lowest repair
+	// indices (lower indices make the decode matrix better conditioned in
+	// terms of work, and determinism keeps simulations reproducible).
+	var size = -1
+	sel := make([]Share, 0, c.k)
+	for idx := 0; idx < MaxShares && len(sel) < c.k; idx++ {
+		if s, ok := chosen[idx]; ok {
+			if size < 0 {
+				size = len(s.Data)
+			} else if len(s.Data) != size {
+				return nil, fmt.Errorf("fec: share %d has length %d, want %d", idx, len(s.Data), size)
+			}
+			sel = append(sel, s)
+		}
+	}
+
+	out := make([][]byte, c.k)
+	missing := false
+	for _, s := range sel {
+		if s.Index < c.k {
+			out[s.Index] = s.Data
+		} else {
+			missing = true
+		}
+	}
+	if !missing {
+		// All data shares present: nothing to invert.
+		return out, nil
+	}
+
+	rows := make([]int, len(sel))
+	for i, s := range sel {
+		rows[i] = s.Index
+	}
+	dec, err := c.gen.subMatrixRows(rows).invert()
+	if err != nil {
+		// Cannot happen: any k distinct rows of the systematic
+		// Vandermonde generator are linearly independent.
+		return nil, err
+	}
+	for i := 0; i < c.k; i++ {
+		if out[i] != nil {
+			continue
+		}
+		buf := make([]byte, size)
+		row := dec.row(i)
+		for j, coeff := range row {
+			addMulSlice(buf, sel[j].Data, coeff)
+		}
+		out[i] = buf
+	}
+	return out, nil
+}
+
+func (c *Codec) checkData(data [][]byte) error {
+	if len(data) != c.k {
+		return fmt.Errorf("fec: need %d data shares, got %d", c.k, len(data))
+	}
+	for i, d := range data {
+		if len(d) != len(data[0]) {
+			return fmt.Errorf("fec: data share %d has length %d, want %d", i, len(d), len(data[0]))
+		}
+	}
+	return nil
+}
+
+func seq(n int) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = i
+	}
+	return s
+}

@@ -1,0 +1,122 @@
+// Package fec implements the forward-error-correction substrate SHARQFEC
+// layers repairs on: a systematic Reed–Solomon erasure code over GF(2^8)
+// in the style of Rizzo's "Effective Erasure Codes for Reliable Computer
+// Communication Protocols" (CCR 1997), the paper's reference [14].
+//
+// A codec for k data packets can produce up to 255-k distinct repair
+// packets; any k distinct packets of the combined set reconstruct the
+// original k. SHARQFEC exploits the "any k of n" property so that repairs
+// injected independently by different zones never duplicate information as
+// long as their indices differ.
+package fec
+
+// GF(2^8) arithmetic with the primitive polynomial x^8+x^4+x^3+x^2+1
+// (0x11D), the field used by Rizzo's code and by RFC 5510.
+
+const (
+	fieldSize = 256
+	primPoly  = 0x11D
+)
+
+var (
+	gfExp [2 * fieldSize]byte // generator powers, doubled to skip a mod
+	gfLog [fieldSize]int
+)
+
+func init() {
+	x := 1
+	for i := 0; i < fieldSize-1; i++ {
+		gfExp[i] = byte(x)
+		gfLog[x] = i
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= primPoly
+		}
+	}
+	for i := fieldSize - 1; i < 2*fieldSize; i++ {
+		gfExp[i] = gfExp[i-(fieldSize-1)]
+	}
+	gfLog[0] = -1 // log of zero is undefined; flagged for debugging
+}
+
+// gfMul returns a*b in GF(2^8).
+func gfMul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return gfExp[gfLog[a]+gfLog[b]]
+}
+
+// gfDiv returns a/b in GF(2^8). b must be nonzero.
+func gfDiv(a, b byte) byte {
+	if b == 0 {
+		panic("fec: division by zero in GF(256)")
+	}
+	if a == 0 {
+		return 0
+	}
+	return gfExp[gfLog[a]-gfLog[b]+(fieldSize-1)]
+}
+
+// gfInv returns the multiplicative inverse of a. a must be nonzero.
+func gfInv(a byte) byte {
+	if a == 0 {
+		panic("fec: inverse of zero in GF(256)")
+	}
+	return gfExp[(fieldSize-1)-gfLog[a]]
+}
+
+// gfPow returns a^n in GF(2^8).
+func gfPow(a byte, n int) byte {
+	if n == 0 {
+		return 1
+	}
+	if a == 0 {
+		return 0
+	}
+	l := (gfLog[a] * n) % (fieldSize - 1)
+	if l < 0 {
+		l += fieldSize - 1
+	}
+	return gfExp[l]
+}
+
+// mulSlice sets dst[i] = c*src[i] for all i. len(dst) must equal len(src).
+func mulSlice(dst, src []byte, c byte) {
+	if c == 0 {
+		clear(dst)
+		return
+	}
+	if c == 1 {
+		copy(dst, src)
+		return
+	}
+	lc := gfLog[c]
+	for i, s := range src {
+		if s == 0 {
+			dst[i] = 0
+		} else {
+			dst[i] = gfExp[lc+gfLog[s]]
+		}
+	}
+}
+
+// addMulSlice sets dst[i] ^= c*src[i] for all i — the inner loop of both
+// encoding and decoding.
+func addMulSlice(dst, src []byte, c byte) {
+	if c == 0 {
+		return
+	}
+	if c == 1 {
+		for i, s := range src {
+			dst[i] ^= s
+		}
+		return
+	}
+	lc := gfLog[c]
+	for i, s := range src {
+		if s != 0 {
+			dst[i] ^= gfExp[lc+gfLog[s]]
+		}
+	}
+}

@@ -1,0 +1,282 @@
+// Package netsim is the discrete-event network simulator the protocols
+// run on — the reproduction's substitute for the UCB/LBNL ns simulator
+// the paper used (§6).
+//
+// A Network joins a topology.Graph, a scoping.Hierarchy and an
+// eventq.Queue. Protocol agents attach to nodes and exchange packets by
+// multicasting to a scope zone: the packet travels the sender-rooted
+// shortest-path tree, pruned to the branches that lead to members of the
+// zone (administrative scoping), experiencing per-link store-and-forward
+// transmission delay, FIFO queueing, propagation latency, and — for
+// loss-eligible packets — independent Bernoulli loss per link, exactly the
+// loss model the paper assumes.
+package netsim
+
+import (
+	"fmt"
+
+	"sharqfec/internal/eventq"
+	"sharqfec/internal/fabric"
+	"sharqfec/internal/packet"
+	"sharqfec/internal/scoping"
+	"sharqfec/internal/simrand"
+	"sharqfec/internal/topology"
+)
+
+// Delivery is one packet arriving at a node (an alias of the transport
+// seam's type, so protocols run unchanged on the UDP mesh).
+type Delivery = fabric.Delivery
+
+// Agent is a protocol endpoint attached to a node. Receive runs on the
+// simulation goroutine and must not block; it may send packets and set
+// timers.
+type Agent = fabric.Agent
+
+// Tap observes every delivery to a session member, for measurement.
+type Tap func(now eventq.Time, at topology.NodeID, d Delivery)
+
+// SendTap observes every multicast transmission at its sender, for
+// measurements that include a node's own output (e.g. traffic visible at
+// the source, Figures 20–21).
+type SendTap func(now eventq.Time, from topology.NodeID, zone scoping.ZoneID, pkt packet.Packet)
+
+// Network simulates scoped multicast over a graph.
+type Network struct {
+	Q *eventq.Queue
+	G *topology.Graph
+	H *scoping.Hierarchy
+
+	agents   []Agent
+	lossRNG  *simrand.Rand
+	taps     []Tap
+	sendTaps []SendTap
+
+	trees     map[topology.NodeID]*topology.Tree
+	memberSet map[scoping.ZoneID][]bool
+	// pruned[{src, zone}][v] lists v's tree children whose subtrees
+	// contain at least one member of zone.
+	pruned map[prunedKey][][]topology.NodeID
+	// linkFree[link][dir] is when the link direction finishes its
+	// current transmission; dir 0 = A→B, 1 = B→A.
+	linkFree [][2]eventq.Time
+
+	// QueueLimit bounds each link direction's transmit backlog in
+	// packets; beyond it, packets are tail-dropped (congestion loss).
+	// Zero means unbounded (the paper's model: loss is Bernoulli only).
+	QueueLimit int
+
+	// Counters for coarse validation and benchmarks.
+	sent      uint64
+	delivered uint64
+	dropped   uint64
+	taildrops uint64
+}
+
+type prunedKey struct {
+	src  topology.NodeID
+	zone scoping.ZoneID
+}
+
+// New creates a network over g and h, drawing loss randomness from src.
+func New(q *eventq.Queue, g *topology.Graph, h *scoping.Hierarchy, src *simrand.Source) *Network {
+	return &Network{
+		Q:         q,
+		G:         g,
+		H:         h,
+		agents:    make([]Agent, g.NumNodes()),
+		lossRNG:   src.Stream("netsim/loss"),
+		trees:     make(map[topology.NodeID]*topology.Tree),
+		memberSet: make(map[scoping.ZoneID][]bool),
+		pruned:    make(map[prunedKey][][]topology.NodeID),
+		linkFree:  make([][2]eventq.Time, g.NumLinks()),
+	}
+}
+
+// Attach binds an agent to a node (joining the session). Passing nil
+// detaches.
+func (n *Network) Attach(node topology.NodeID, a Agent) {
+	n.agents[node] = a
+}
+
+// AgentAt returns the agent attached to node, or nil.
+func (n *Network) AgentAt(node topology.NodeID) Agent { return n.agents[node] }
+
+// Sched implements fabric.Network over the virtual clock.
+func (n *Network) Sched() fabric.Scheduler { return simScheduler{n.Q} }
+
+// Hierarchy implements fabric.Network.
+func (n *Network) Hierarchy() *scoping.Hierarchy { return n.H }
+
+// simScheduler adapts the event queue to the fabric.Scheduler interface
+// (the concrete *eventq.Timer satisfies fabric.Timer).
+type simScheduler struct{ q *eventq.Queue }
+
+func (s simScheduler) Now() eventq.Time { return s.q.Now() }
+func (s simScheduler) After(d eventq.Duration, fn func(eventq.Time)) fabric.Timer {
+	return s.q.After(d, fn)
+}
+
+var _ fabric.Network = (*Network)(nil)
+
+// AddTap registers a delivery observer.
+func (n *Network) AddTap(t Tap) { n.taps = append(n.taps, t) }
+
+// AddSendTap registers a transmission observer.
+func (n *Network) AddSendTap(t SendTap) { n.sendTaps = append(n.sendTaps, t) }
+
+// Stats returns (multicasts sent, packets delivered to members, packets
+// dropped by link loss).
+func (n *Network) Stats() (sent, delivered, dropped uint64) {
+	return n.sent, n.delivered, n.dropped
+}
+
+// TailDrops returns the number of packets lost to transmit-queue
+// overflow (only possible with QueueLimit > 0).
+func (n *Network) TailDrops() uint64 { return n.taildrops }
+
+// Tree returns (building if necessary) the shortest-path tree rooted at
+// src that all multicasts from src follow.
+func (n *Network) Tree(src topology.NodeID) *topology.Tree {
+	t, ok := n.trees[src]
+	if !ok {
+		t = n.G.SPFTree(src)
+		n.trees[src] = t
+	}
+	return t
+}
+
+// prunedChildren returns, for each node, its tree children worth
+// forwarding to when src multicasts to zone.
+func (n *Network) prunedChildren(src topology.NodeID, zone scoping.ZoneID) [][]topology.NodeID {
+	key := prunedKey{src, zone}
+	if p, ok := n.pruned[key]; ok {
+		return p
+	}
+	tree := n.Tree(src)
+	needed := make([]bool, n.G.NumNodes())
+	for _, m := range n.H.Members(zone) {
+		needed[m] = true
+	}
+	// Post-order accumulate: a child is forwarded to if its subtree
+	// contains any member.
+	var mark func(v topology.NodeID) bool
+	mark = func(v topology.NodeID) bool {
+		any := needed[v]
+		for _, c := range tree.Children[v] {
+			if mark(c) {
+				any = true
+			}
+		}
+		needed[v] = any
+		return any
+	}
+	mark(src)
+	out := make([][]topology.NodeID, n.G.NumNodes())
+	var collect func(v topology.NodeID)
+	collect = func(v topology.NodeID) {
+		for _, c := range tree.Children[v] {
+			if needed[c] {
+				out[v] = append(out[v], c)
+				collect(c)
+			}
+		}
+	}
+	collect(src)
+	n.pruned[key] = out
+	return out
+}
+
+// Multicast sends pkt from node `from` to every member of `zone` (other
+// than the sender). Delivery is scheduled through the event queue; the
+// call returns immediately.
+func (n *Network) Multicast(from topology.NodeID, zone scoping.ZoneID, pkt packet.Packet) {
+	if int(from) >= n.G.NumNodes() {
+		panic(fmt.Sprintf("netsim: multicast from unknown node %d", from))
+	}
+	n.sent++
+	now := n.Q.Now()
+	for _, tap := range n.sendTaps {
+		tap(now, from, zone, pkt)
+	}
+	children := n.prunedChildren(from, zone)
+	isMember := n.members(zone)
+	tree := n.Tree(from)
+	for _, c := range children[from] {
+		n.forward(now, tree, children, isMember, from, c, zone, pkt)
+	}
+}
+
+// members returns (caching) the zone's membership as a dense bitmap.
+func (n *Network) members(zone scoping.ZoneID) []bool {
+	if m, ok := n.memberSet[zone]; ok {
+		return m
+	}
+	m := make([]bool, n.G.NumNodes())
+	for _, v := range n.H.Members(zone) {
+		m[v] = true
+	}
+	n.memberSet[zone] = m
+	return m
+}
+
+// forward transmits pkt across the link from u to v at time t, then — on
+// successful arrival — delivers to v (if a member) and recurses to v's
+// pruned children.
+func (n *Network) forward(t eventq.Time, tree *topology.Tree, children [][]topology.NodeID,
+	isMember []bool, u, v topology.NodeID, zone scoping.ZoneID, pkt packet.Packet) {
+
+	li := tree.ParentLink[v]
+	link := n.G.Link(li)
+	dir := 0
+	if u == link.B {
+		dir = 1
+	}
+	// FIFO store-and-forward: wait for the link direction to free up,
+	// transmit at line rate, then propagate.
+	start := t
+	if n.linkFree[li][dir] > start {
+		start = n.linkFree[li][dir]
+	}
+	txTime := eventq.Duration(float64(pkt.WireSize()*8) / link.Bandwidth)
+	if n.QueueLimit > 0 {
+		backlog := float64(start.Sub(t)) / float64(txTime)
+		if backlog > float64(n.QueueLimit) {
+			n.taildrops++
+			return // congestion: the queue is full, the subtree misses it
+		}
+	}
+	txDone := start.Add(txTime)
+	n.linkFree[li][dir] = txDone
+	arrive := txDone.Add(link.Latency)
+
+	if pkt.Lossy() && n.lossRNG.Bernoulli(n.G.LossFrom(li, u)) {
+		n.dropped++
+		return // whole subtree below v misses the packet
+	}
+
+	n.Q.At(arrive, func(now eventq.Time) {
+		if isMember[v] {
+			n.deliver(now, v, Delivery{From: tree.Root, Scope: zone, Pkt: pkt})
+		}
+		for _, c := range children[v] {
+			n.forward(now, tree, children, isMember, v, c, zone, pkt)
+		}
+	})
+}
+
+func (n *Network) deliver(now eventq.Time, at topology.NodeID, d Delivery) {
+	n.delivered++
+	for _, tap := range n.taps {
+		tap(now, at, d)
+	}
+	if a := n.agents[at]; a != nil {
+		a.Receive(now, d)
+	}
+}
+
+// OneWayDelay returns the pure propagation latency from a to b along the
+// routing tree (no queueing or transmission time) — the ground truth the
+// RTT-estimation experiments (Figures 11–13) compare against.
+func (n *Network) OneWayDelay(a, b topology.NodeID) eventq.Duration {
+	return n.Tree(a).Dist[b]
+}

@@ -1,0 +1,364 @@
+// Package packet defines the wire formats exchanged by SHARQFEC, SRM and
+// the session-management machinery: original data packets, FEC repair
+// packets, NACKs, session messages, and the three ZCR-election messages.
+//
+// Each type has a compact big-endian binary encoding with a one-byte type
+// tag, so the protocols simulated here could be bound to a real datagram
+// transport without change. Inside the simulator packets travel as typed
+// Go values; WireSize reports the bytes they would occupy on a link and
+// drives transmission-delay and bandwidth accounting.
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"sharqfec/internal/topology"
+)
+
+// Type tags a packet on the wire.
+type Type uint8
+
+// Wire type tags. The zero value is invalid so that an all-zeros buffer
+// never decodes silently.
+const (
+	TypeInvalid Type = iota
+	TypeData
+	TypeRepair
+	TypeNACK
+	TypeSession
+	TypeZCRChallenge
+	TypeZCRResponse
+	TypeZCRTakeover
+)
+
+// String returns the mnemonic used in traces and test failures.
+func (t Type) String() string {
+	switch t {
+	case TypeData:
+		return "DATA"
+	case TypeRepair:
+		return "REPAIR"
+	case TypeNACK:
+		return "NACK"
+	case TypeSession:
+		return "SESSION"
+	case TypeZCRChallenge:
+		return "ZCR-CHALLENGE"
+	case TypeZCRResponse:
+		return "ZCR-RESPONSE"
+	case TypeZCRTakeover:
+		return "ZCR-TAKEOVER"
+	default:
+		return fmt.Sprintf("TYPE(%d)", uint8(t))
+	}
+}
+
+// Packet is implemented by every wire message.
+type Packet interface {
+	// Kind returns the wire type tag.
+	Kind() Type
+	// WireSize returns the number of bytes the packet occupies on a
+	// link, including headers and payload.
+	WireSize() int
+	// Lossy reports whether links may drop the packet. Following the
+	// paper's simulation setup (§6.2), data and repair packets are
+	// lossy; NACKs and session traffic are not.
+	Lossy() bool
+	// MarshalBinary encodes the packet, type tag first.
+	MarshalBinary() ([]byte, error)
+}
+
+// Data is an original data packet within a group (§4 Loss Detection
+// Phase). Seq numbers are global across the stream; Group/Index locate
+// the packet within its FEC group.
+type Data struct {
+	Origin  topology.NodeID // stream source
+	Seq     uint32          // global packet identifier
+	Group   uint32          // FEC group number
+	Index   uint8           // share index within the group (0..GroupSize-1)
+	GroupK  uint8           // number of data packets in the group (k)
+	Payload []byte          // application bytes (the FEC share content)
+}
+
+const dataHeader = 1 + 4 + 4 + 4 + 1 + 1 + 2
+
+// Kind implements Packet.
+func (p *Data) Kind() Type { return TypeData }
+
+// WireSize implements Packet.
+func (p *Data) WireSize() int { return dataHeader + len(p.Payload) }
+
+// Lossy implements Packet.
+func (p *Data) Lossy() bool { return true }
+
+// MarshalBinary implements Packet.
+func (p *Data) MarshalBinary() ([]byte, error) {
+	if len(p.Payload) > math.MaxUint16 {
+		return nil, fmt.Errorf("packet: data payload %d exceeds 64 KiB", len(p.Payload))
+	}
+	b := make([]byte, 0, p.WireSize())
+	b = append(b, byte(TypeData))
+	b = be32(b, uint32(p.Origin))
+	b = be32(b, p.Seq)
+	b = be32(b, p.Group)
+	b = append(b, p.Index, p.GroupK)
+	b = be16(b, uint16(len(p.Payload)))
+	return append(b, p.Payload...), nil
+}
+
+// Repair is an FEC repair share for a group, injected preemptively by a
+// ZCR or sent in response to NACKs (§4 Repair Phase). NewMaxSeq carries
+// "what will be the new highest packet identifier" so repliers avoid
+// duplicating each other's shares.
+type Repair struct {
+	Origin    topology.NodeID
+	Group     uint32
+	Index     uint8 // share index (>= GroupK)
+	GroupK    uint8
+	NewMaxSeq uint32 // highest share identifier after this sender's burst
+	Zone      int16  // scope zone the repair is addressed to
+	Payload   []byte
+}
+
+const repairHeader = 1 + 4 + 4 + 1 + 1 + 4 + 2 + 2
+
+// Kind implements Packet.
+func (p *Repair) Kind() Type { return TypeRepair }
+
+// WireSize implements Packet.
+func (p *Repair) WireSize() int { return repairHeader + len(p.Payload) }
+
+// Lossy implements Packet.
+func (p *Repair) Lossy() bool { return true }
+
+// MarshalBinary implements Packet.
+func (p *Repair) MarshalBinary() ([]byte, error) {
+	if len(p.Payload) > math.MaxUint16 {
+		return nil, fmt.Errorf("packet: repair payload %d exceeds 64 KiB", len(p.Payload))
+	}
+	b := make([]byte, 0, p.WireSize())
+	b = append(b, byte(TypeRepair))
+	b = be32(b, uint32(p.Origin))
+	b = be32(b, p.Group)
+	b = append(b, p.Index, p.GroupK)
+	b = be32(b, p.NewMaxSeq)
+	b = be16(b, uint16(p.Zone))
+	b = be16(b, uint16(len(p.Payload)))
+	return append(b, p.Payload...), nil
+}
+
+// AncestorRTT is one (ZCR, RTT) pair a sender attaches to NACKs so that
+// distant receivers can estimate the RTT to it indirectly (§5.1).
+type AncestorRTT struct {
+	ZCR topology.NodeID
+	RTT float64 // seconds
+}
+
+// NACK requests additional repair shares for a group. Unlike SRM NACKs it
+// names a *count* of shares needed, not an individual packet (§4). The
+// LLC becomes the new ZLC for the scope zone at every hearer.
+type NACK struct {
+	Origin    topology.NodeID
+	Group     uint32
+	LLC       uint8 // sender's local loss count for the group
+	Needed    uint8 // repair shares needed to complete the group
+	MaxSeq    uint32
+	Zone      int16 // scope zone the NACK is addressed to
+	Ancestors []AncestorRTT
+}
+
+const nackHeader = 1 + 4 + 4 + 1 + 1 + 4 + 2 + 1
+
+// Kind implements Packet.
+func (p *NACK) Kind() Type { return TypeNACK }
+
+// WireSize implements Packet.
+func (p *NACK) WireSize() int { return nackHeader + len(p.Ancestors)*8 }
+
+// Lossy implements Packet.
+func (p *NACK) Lossy() bool { return false }
+
+// MarshalBinary implements Packet.
+func (p *NACK) MarshalBinary() ([]byte, error) {
+	if len(p.Ancestors) > math.MaxUint8 {
+		return nil, fmt.Errorf("packet: %d ancestor entries exceed 255", len(p.Ancestors))
+	}
+	b := make([]byte, 0, p.WireSize())
+	b = append(b, byte(TypeNACK))
+	b = be32(b, uint32(p.Origin))
+	b = be32(b, p.Group)
+	b = append(b, p.LLC, p.Needed)
+	b = be32(b, p.MaxSeq)
+	b = be16(b, uint16(p.Zone))
+	b = append(b, byte(len(p.Ancestors)))
+	for _, a := range p.Ancestors {
+		b = be32(b, uint32(a.ZCR))
+		b = be32(b, math.Float32bits(float32(a.RTT)))
+	}
+	return b, nil
+}
+
+// SessionEntry reports one peer heard by the sender of a session message
+// (§5: identity, time since last heard, sender's RTT estimate). Echo
+// carries the SentAt timestamp of the last session message heard from
+// Peer, so Peer can compute an RTT sample as
+// now − Echo − SinceHeard (the RTCP LSR/DLSR construction).
+type SessionEntry struct {
+	Peer       topology.NodeID
+	SinceHeard float64 // seconds between hearing Peer and this message
+	RTT        float64 // sender's RTT estimate to Peer, seconds
+	Echo       float64 // SentAt of the last message heard from Peer
+}
+
+// Session is a periodic session-management message, scoped to one zone.
+//
+// RRWorstLoss/RRMembers implement the paper's §7 proposal of folding
+// RTCP Receiver-Report summaries into the session hierarchy: each
+// message carries the worst loss fraction and member count for the
+// subtree its sender represents, so higher levels (ultimately the
+// source) learn aggregate reception quality without per-receiver
+// reports.
+type Session struct {
+	Origin        topology.NodeID
+	Zone          int16
+	SentAt        float64 // sender timestamp, seconds
+	ZCR           topology.NodeID
+	ZCRParentDist float64 // recorded distance ZCR → parent-zone ZCR
+	MaxSeq        uint32  // highest data identifier seen (SRM tail-loss detection)
+	RRWorstLoss   float64 // worst loss fraction in the represented subtree
+	RRMembers     uint32  // receivers summarized (0 = no report)
+	Entries       []SessionEntry
+}
+
+const sessionHeader = 1 + 4 + 2 + 8 + 4 + 4 + 4 + 4 + 4 + 2
+
+// Kind implements Packet.
+func (p *Session) Kind() Type { return TypeSession }
+
+// WireSize implements Packet.
+func (p *Session) WireSize() int { return sessionHeader + len(p.Entries)*20 }
+
+// Lossy implements Packet.
+func (p *Session) Lossy() bool { return false }
+
+// MarshalBinary implements Packet.
+func (p *Session) MarshalBinary() ([]byte, error) {
+	if len(p.Entries) > math.MaxUint16 {
+		return nil, fmt.Errorf("packet: %d session entries exceed 65535", len(p.Entries))
+	}
+	b := make([]byte, 0, p.WireSize())
+	b = append(b, byte(TypeSession))
+	b = be32(b, uint32(p.Origin))
+	b = be16(b, uint16(p.Zone))
+	b = be64(b, math.Float64bits(p.SentAt))
+	b = be32(b, uint32(p.ZCR))
+	b = be32(b, math.Float32bits(float32(p.ZCRParentDist)))
+	b = be32(b, p.MaxSeq)
+	b = be32(b, math.Float32bits(float32(p.RRWorstLoss)))
+	b = be32(b, p.RRMembers)
+	b = be16(b, uint16(len(p.Entries)))
+	for _, e := range p.Entries {
+		b = be32(b, uint32(e.Peer))
+		b = be32(b, math.Float32bits(float32(e.SinceHeard)))
+		b = be32(b, math.Float32bits(float32(e.RTT)))
+		b = be64(b, math.Float64bits(e.Echo))
+	}
+	return b, nil
+}
+
+// ZCRChallenge starts a ZCR election round: the current (or would-be) ZCR
+// of Zone probes its distance to the parent ZCR (§5.2).
+type ZCRChallenge struct {
+	Origin topology.NodeID
+	Zone   int16
+	SentAt float64
+}
+
+const zcrChallengeSize = 1 + 4 + 2 + 8
+
+// Kind implements Packet.
+func (p *ZCRChallenge) Kind() Type { return TypeZCRChallenge }
+
+// WireSize implements Packet.
+func (p *ZCRChallenge) WireSize() int { return zcrChallengeSize }
+
+// Lossy implements Packet.
+func (p *ZCRChallenge) Lossy() bool { return false }
+
+// MarshalBinary implements Packet.
+func (p *ZCRChallenge) MarshalBinary() ([]byte, error) {
+	b := make([]byte, 0, zcrChallengeSize)
+	b = append(b, byte(TypeZCRChallenge))
+	b = be32(b, uint32(p.Origin))
+	b = be16(b, uint16(p.Zone))
+	b = be64(b, math.Float64bits(p.SentAt))
+	return b, nil
+}
+
+// ZCRResponse is the parent ZCR's answer to a challenge, carrying the
+// processing delay between receiving the challenge and replying so
+// hearers can subtract it (§5.2).
+type ZCRResponse struct {
+	Origin     topology.NodeID // the parent ZCR
+	Zone       int16           // the child zone being elected
+	Challenger topology.NodeID
+	ProcDelay  float64 // seconds between challenge receipt and this reply
+}
+
+const zcrResponseSize = 1 + 4 + 2 + 4 + 4
+
+// Kind implements Packet.
+func (p *ZCRResponse) Kind() Type { return TypeZCRResponse }
+
+// WireSize implements Packet.
+func (p *ZCRResponse) WireSize() int { return zcrResponseSize }
+
+// Lossy implements Packet.
+func (p *ZCRResponse) Lossy() bool { return false }
+
+// MarshalBinary implements Packet.
+func (p *ZCRResponse) MarshalBinary() ([]byte, error) {
+	b := make([]byte, 0, zcrResponseSize)
+	b = append(b, byte(TypeZCRResponse))
+	b = be32(b, uint32(p.Origin))
+	b = be16(b, uint16(p.Zone))
+	b = be32(b, uint32(p.Challenger))
+	b = be32(b, math.Float32bits(float32(p.ProcDelay)))
+	return b, nil
+}
+
+// ZCRTakeover announces that Origin is closer to the parent ZCR than the
+// incumbent and is assuming the ZCR role for Zone (§5.2). It is sent to
+// both the child zone and the parent zone.
+type ZCRTakeover struct {
+	Origin       topology.NodeID
+	Zone         int16
+	DistToParent float64 // claimed one-way distance to the parent ZCR
+}
+
+const zcrTakeoverSize = 1 + 4 + 2 + 4
+
+// Kind implements Packet.
+func (p *ZCRTakeover) Kind() Type { return TypeZCRTakeover }
+
+// WireSize implements Packet.
+func (p *ZCRTakeover) WireSize() int { return zcrTakeoverSize }
+
+// Lossy implements Packet.
+func (p *ZCRTakeover) Lossy() bool { return false }
+
+// MarshalBinary implements Packet.
+func (p *ZCRTakeover) MarshalBinary() ([]byte, error) {
+	b := make([]byte, 0, zcrTakeoverSize)
+	b = append(b, byte(TypeZCRTakeover))
+	b = be32(b, uint32(p.Origin))
+	b = be16(b, uint16(p.Zone))
+	b = be32(b, math.Float32bits(float32(p.DistToParent)))
+	return b, nil
+}
+
+func be16(b []byte, v uint16) []byte { return binary.BigEndian.AppendUint16(b, v) }
+func be32(b []byte, v uint32) []byte { return binary.BigEndian.AppendUint32(b, v) }
+func be64(b []byte, v uint64) []byte { return binary.BigEndian.AppendUint64(b, v) }

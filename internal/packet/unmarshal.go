@@ -1,0 +1,196 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"sharqfec/internal/topology"
+)
+
+// Unmarshal decodes one packet from b, dispatching on the leading type
+// tag. It returns an error for truncated, oversized or unknown input.
+func Unmarshal(b []byte) (Packet, error) {
+	if len(b) == 0 {
+		return nil, fmt.Errorf("packet: empty buffer")
+	}
+	r := reader{buf: b[1:]}
+	var p Packet
+	var err error
+	switch Type(b[0]) {
+	case TypeData:
+		p, err = unmarshalData(&r)
+	case TypeRepair:
+		p, err = unmarshalRepair(&r)
+	case TypeNACK:
+		p, err = unmarshalNACK(&r)
+	case TypeSession:
+		p, err = unmarshalSession(&r)
+	case TypeZCRChallenge:
+		p, err = unmarshalZCRChallenge(&r)
+	case TypeZCRResponse:
+		p, err = unmarshalZCRResponse(&r)
+	case TypeZCRTakeover:
+		p, err = unmarshalZCRTakeover(&r)
+	default:
+		return nil, fmt.Errorf("packet: unknown type tag %d", b[0])
+	}
+	if err != nil {
+		return nil, fmt.Errorf("packet: decoding %s: %w", Type(b[0]), err)
+	}
+	if len(r.buf) != r.off {
+		return nil, fmt.Errorf("packet: %d trailing bytes after %s", len(r.buf)-r.off, Type(b[0]))
+	}
+	return p, nil
+}
+
+func unmarshalData(r *reader) (Packet, error) {
+	p := &Data{}
+	p.Origin = topology.NodeID(int32(r.u32()))
+	p.Seq = r.u32()
+	p.Group = r.u32()
+	p.Index = r.u8()
+	p.GroupK = r.u8()
+	n := int(r.u16())
+	p.Payload = r.bytes(n)
+	return p, r.err
+}
+
+func unmarshalRepair(r *reader) (Packet, error) {
+	p := &Repair{}
+	p.Origin = topology.NodeID(int32(r.u32()))
+	p.Group = r.u32()
+	p.Index = r.u8()
+	p.GroupK = r.u8()
+	p.NewMaxSeq = r.u32()
+	p.Zone = int16(r.u16())
+	n := int(r.u16())
+	p.Payload = r.bytes(n)
+	return p, r.err
+}
+
+func unmarshalNACK(r *reader) (Packet, error) {
+	p := &NACK{}
+	p.Origin = topology.NodeID(int32(r.u32()))
+	p.Group = r.u32()
+	p.LLC = r.u8()
+	p.Needed = r.u8()
+	p.MaxSeq = r.u32()
+	p.Zone = int16(r.u16())
+	n := int(r.u8())
+	for i := 0; i < n && r.err == nil; i++ {
+		p.Ancestors = append(p.Ancestors, AncestorRTT{
+			ZCR: topology.NodeID(int32(r.u32())),
+			RTT: float64(math.Float32frombits(r.u32())),
+		})
+	}
+	return p, r.err
+}
+
+func unmarshalSession(r *reader) (Packet, error) {
+	p := &Session{}
+	p.Origin = topology.NodeID(int32(r.u32()))
+	p.Zone = int16(r.u16())
+	p.SentAt = math.Float64frombits(r.u64())
+	p.ZCR = topology.NodeID(int32(r.u32()))
+	p.ZCRParentDist = float64(math.Float32frombits(r.u32()))
+	p.MaxSeq = r.u32()
+	p.RRWorstLoss = float64(math.Float32frombits(r.u32()))
+	p.RRMembers = r.u32()
+	n := int(r.u16())
+	for i := 0; i < n && r.err == nil; i++ {
+		p.Entries = append(p.Entries, SessionEntry{
+			Peer:       topology.NodeID(int32(r.u32())),
+			SinceHeard: float64(math.Float32frombits(r.u32())),
+			RTT:        float64(math.Float32frombits(r.u32())),
+			Echo:       math.Float64frombits(r.u64()),
+		})
+	}
+	return p, r.err
+}
+
+func unmarshalZCRChallenge(r *reader) (Packet, error) {
+	p := &ZCRChallenge{}
+	p.Origin = topology.NodeID(int32(r.u32()))
+	p.Zone = int16(r.u16())
+	p.SentAt = math.Float64frombits(r.u64())
+	return p, r.err
+}
+
+func unmarshalZCRResponse(r *reader) (Packet, error) {
+	p := &ZCRResponse{}
+	p.Origin = topology.NodeID(int32(r.u32()))
+	p.Zone = int16(r.u16())
+	p.Challenger = topology.NodeID(int32(r.u32()))
+	p.ProcDelay = float64(math.Float32frombits(r.u32()))
+	return p, r.err
+}
+
+func unmarshalZCRTakeover(r *reader) (Packet, error) {
+	p := &ZCRTakeover{}
+	p.Origin = topology.NodeID(int32(r.u32()))
+	p.Zone = int16(r.u16())
+	p.DistToParent = float64(math.Float32frombits(r.u32()))
+	return p, r.err
+}
+
+// reader is a bounds-checked big-endian cursor; after any short read it
+// records an error and returns zeros, so decoders stay linear.
+type reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.off+n > len(r.buf) {
+		r.err = fmt.Errorf("truncated at offset %d (need %d of %d)", r.off, n, len(r.buf)-r.off)
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *reader) u8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *reader) u16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+func (r *reader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+func (r *reader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+func (r *reader) bytes(n int) []byte {
+	b := r.take(n)
+	if b == nil {
+		return nil
+	}
+	return append([]byte(nil), b...)
+}

@@ -1,0 +1,231 @@
+// Package scoping models a hierarchy of administratively scoped multicast
+// zones (SHARQFEC §3.2). Zones form a tree rooted at the global zone Z0.
+// Each session member has a *smallest* (leaf) zone and is implicitly a
+// member of every ancestor zone up to the root, so a packet multicast
+// "with the scope of" zone Z reaches exactly the members whose leaf-zone
+// chain includes Z.
+package scoping
+
+import (
+	"fmt"
+	"sort"
+
+	"sharqfec/internal/topology"
+)
+
+// ZoneID identifies a zone within a Hierarchy.
+type ZoneID int
+
+// NoZone is returned by lookups that find no zone.
+const NoZone = ZoneID(-1)
+
+type zone struct {
+	id       ZoneID
+	parent   ZoneID
+	children []ZoneID
+	level    int // 0 = root
+	leaves   []topology.NodeID
+	members  []topology.NodeID // leaves of this zone and all descendants
+}
+
+// Hierarchy is an immutable zone tree built from a topology zone spec.
+type Hierarchy struct {
+	zones    []zone
+	root     ZoneID
+	leafZone map[topology.NodeID]ZoneID
+}
+
+// Build constructs a Hierarchy from builder zone specs. Exactly one spec
+// must have Parent == -1 (the global zone). Every node may appear in at
+// most one spec's Leaves.
+func Build(specs []topology.ZoneSpec) (*Hierarchy, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("scoping: no zones")
+	}
+	h := &Hierarchy{
+		zones:    make([]zone, len(specs)),
+		root:     NoZone,
+		leafZone: make(map[topology.NodeID]ZoneID),
+	}
+	index := make(map[int]ZoneID, len(specs))
+	for i, s := range specs {
+		if _, dup := index[s.ID]; dup {
+			return nil, fmt.Errorf("scoping: duplicate zone id %d", s.ID)
+		}
+		index[s.ID] = ZoneID(i)
+	}
+	for i, s := range specs {
+		z := &h.zones[i]
+		z.id = ZoneID(i)
+		z.leaves = append([]topology.NodeID(nil), s.Leaves...)
+		if s.Parent == -1 {
+			if h.root != NoZone {
+				return nil, fmt.Errorf("scoping: multiple root zones")
+			}
+			h.root = ZoneID(i)
+			z.parent = NoZone
+			continue
+		}
+		p, ok := index[s.Parent]
+		if !ok {
+			return nil, fmt.Errorf("scoping: zone %d has unknown parent %d", s.ID, s.Parent)
+		}
+		z.parent = p
+	}
+	if h.root == NoZone {
+		return nil, fmt.Errorf("scoping: no root zone")
+	}
+	for i := range h.zones {
+		if p := h.zones[i].parent; p != NoZone {
+			h.zones[p].children = append(h.zones[p].children, ZoneID(i))
+		}
+	}
+	// Levels + cycle detection via BFS from root.
+	seen := make([]bool, len(h.zones))
+	queue := []ZoneID{h.root}
+	seen[h.root] = true
+	for len(queue) > 0 {
+		z := queue[0]
+		queue = queue[1:]
+		for _, c := range h.zones[z].children {
+			if seen[c] {
+				return nil, fmt.Errorf("scoping: cycle at zone %d", c)
+			}
+			seen[c] = true
+			h.zones[c].level = h.zones[z].level + 1
+			queue = append(queue, c)
+		}
+	}
+	for i, s := range seen {
+		if !s {
+			return nil, fmt.Errorf("scoping: zone %d unreachable from root", i)
+		}
+	}
+	// Leaf-zone map and member sets.
+	for i := range h.zones {
+		for _, n := range h.zones[i].leaves {
+			if _, dup := h.leafZone[n]; dup {
+				return nil, fmt.Errorf("scoping: node %d has two leaf zones", n)
+			}
+			h.leafZone[n] = ZoneID(i)
+		}
+	}
+	for n, z := range h.leafZone {
+		for cur := z; cur != NoZone; cur = h.zones[cur].parent {
+			h.zones[cur].members = append(h.zones[cur].members, n)
+		}
+	}
+	for i := range h.zones {
+		m := h.zones[i].members
+		sort.Slice(m, func(a, b int) bool { return m[a] < m[b] })
+	}
+	return h, nil
+}
+
+// MustBuild is Build but panics on error; for builders whose specs are
+// constructed programmatically and cannot be invalid.
+func MustBuild(specs []topology.ZoneSpec) *Hierarchy {
+	h, err := Build(specs)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Root returns the global zone.
+func (h *Hierarchy) Root() ZoneID { return h.root }
+
+// NumZones returns the number of zones.
+func (h *Hierarchy) NumZones() int { return len(h.zones) }
+
+// Parent returns z's parent zone, or NoZone for the root.
+func (h *Hierarchy) Parent(z ZoneID) ZoneID { return h.zones[z].parent }
+
+// Children returns z's child zones.
+func (h *Hierarchy) Children(z ZoneID) []ZoneID { return h.zones[z].children }
+
+// Level returns z's depth (root = 0).
+func (h *Hierarchy) Level(z ZoneID) int { return h.zones[z].level }
+
+// LeafZone returns the smallest zone containing node n, or NoZone if n is
+// not a session member.
+func (h *Hierarchy) LeafZone(n topology.NodeID) ZoneID {
+	z, ok := h.leafZone[n]
+	if !ok {
+		return NoZone
+	}
+	return z
+}
+
+// ZonesOf returns the chain of zones containing n, smallest first and the
+// root last. It returns nil for non-members.
+func (h *Hierarchy) ZonesOf(n topology.NodeID) []ZoneID {
+	z, ok := h.leafZone[n]
+	if !ok {
+		return nil
+	}
+	var out []ZoneID
+	for cur := z; cur != NoZone; cur = h.zones[cur].parent {
+		out = append(out, cur)
+	}
+	return out
+}
+
+// Members returns every session member of zone z (nodes whose leaf-zone
+// chain includes z), sorted by node ID. The returned slice is shared; do
+// not modify it.
+func (h *Hierarchy) Members(z ZoneID) []topology.NodeID { return h.zones[z].members }
+
+// Leaves returns the nodes whose smallest zone is z. The returned slice
+// is shared; do not modify it.
+func (h *Hierarchy) Leaves(z ZoneID) []topology.NodeID { return h.zones[z].leaves }
+
+// Contains reports whether node n is a member of zone z.
+func (h *Hierarchy) Contains(z ZoneID, n topology.NodeID) bool {
+	for cur, ok := h.leafZone[n]; ok && cur != NoZone; cur = h.zones[cur].parent {
+		if cur == z {
+			return true
+		}
+	}
+	return false
+}
+
+// IsAncestor reports whether a is an ancestor of (or equal to) b.
+func (h *Hierarchy) IsAncestor(a, b ZoneID) bool {
+	for cur := b; cur != NoZone; cur = h.zones[cur].parent {
+		if cur == a {
+			return true
+		}
+	}
+	return false
+}
+
+// Escalate returns the next-largest zone above z, or z itself if z is
+// already the root. Receivers use it to widen NACK scope (§4, repair
+// phase rules).
+func (h *Hierarchy) Escalate(z ZoneID) ZoneID {
+	if p := h.zones[z].parent; p != NoZone {
+		return p
+	}
+	return z
+}
+
+// CommonZone returns the smallest zone containing both a and b, or NoZone
+// if either is not a member.
+func (h *Hierarchy) CommonZone(a, b topology.NodeID) ZoneID {
+	za := h.ZonesOf(a)
+	zb := h.ZonesOf(b)
+	if za == nil || zb == nil {
+		return NoZone
+	}
+	inB := make(map[ZoneID]bool, len(zb))
+	for _, z := range zb {
+		inB[z] = true
+	}
+	for _, z := range za {
+		if inB[z] {
+			return z
+		}
+	}
+	return NoZone
+}

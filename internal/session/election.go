@@ -1,0 +1,249 @@
+package session
+
+import (
+	"sharqfec/internal/eventq"
+	"sharqfec/internal/packet"
+	"sharqfec/internal/scoping"
+	"sharqfec/internal/topology"
+)
+
+// This file implements the ZCR challenge phase (§5.2): periodic probes by
+// each zone's ZCR of its distance to the parent ZCR, passive distance
+// measurement by the other zone members using the paper's formula, and
+// suppressed takeover when a closer receiver exists. Elections run
+// top-down: a zone can only challenge once its parent zone has a ZCR.
+
+// startChallengeDuty arms the periodic challenge timer for a zone this
+// node is the ZCR of.
+func (m *Manager) startChallengeDuty(z scoping.ZoneID) {
+	if m.challengeTimer[z] != nil && m.challengeTimer[z].Active() {
+		return
+	}
+	if m.net.Hierarchy().Parent(z) == scoping.NoZone {
+		return // the root zone has no parent to probe
+	}
+	d := eventq.Duration(m.rng.Uniform(m.cfg.ChallengeLo, m.cfg.ChallengeHi))
+	m.challengeTimer[z] = m.net.Sched().After(d, func(now eventq.Time) {
+		if m.stopped {
+			return
+		}
+		if m.zcrOf(z) == m.node {
+			m.issueChallenge(now, z)
+			m.startChallengeDuty(z)
+		}
+	})
+}
+
+// resetWatchdog re-arms the non-ZCR watchdog for zone z. Its window is
+// "slightly larger" than the ZCR's challenge window so a healthy ZCR
+// always wins the race.
+func (m *Manager) resetWatchdog(z scoping.ZoneID) {
+	if t := m.watchdog[z]; t != nil {
+		t.Stop()
+	}
+	var window float64
+	if m.zcrOf(z) == topology.NoNode {
+		// No ZCR yet: probe quickly so the initial election happens
+		// within the session-stabilization window.
+		window = m.rng.Uniform(m.cfg.BootstrapLo, m.cfg.BootstrapHi)
+	} else {
+		window = m.cfg.WatchdogFactor * m.cfg.ChallengeHi * m.rng.Uniform(1.0, 1.5)
+	}
+	m.watchdog[z] = m.net.Sched().After(eventq.Duration(window), func(now eventq.Time) {
+		if m.stopped {
+			return
+		}
+		if m.zcrOf(z) != m.node {
+			// The incumbent has been silent for a whole watchdog
+			// window: challenge, and treat its advertised distance as
+			// stale so a takeover is not suppressed by a dead node
+			// (a live incumbent simply reasserts, §5.2).
+			if m.zcrOf(z) != topology.NoNode {
+				m.suspectZCR[z] = true
+			}
+			m.issueChallenge(now, z)
+		}
+		m.resetWatchdog(z)
+	})
+}
+
+// issueChallenge multicasts a ZCR challenge for zone z to the parent
+// scope, provided the parent zone has elected a ZCR (top-down ordering).
+func (m *Manager) issueChallenge(now eventq.Time, z scoping.ZoneID) {
+	parent := m.net.Hierarchy().Parent(z)
+	if parent == scoping.NoZone {
+		return
+	}
+	pz := m.zcrOf(parent)
+	if pz == topology.NoNode {
+		return // back off until the parent zone has elected
+	}
+	ch := &packet.ZCRChallenge{Origin: m.node, Zone: int16(z), SentAt: now.Seconds()}
+	m.lastChallenge[z] = challengeInfo{challenger: m.node, sentAt: now.Seconds(), recvAt: now}
+	m.net.Multicast(m.node, parent, ch)
+	if pz == m.node {
+		// Degenerate case: we are also the parent ZCR, so no response
+		// will arrive (no loopback). Answer our own probe so zone
+		// members can still measure, and record a zero distance.
+		m.myParentDist[z] = 0
+		if m.zcrOf(z) == m.node {
+			m.zcrDist[z] = 0
+		}
+		m.net.Multicast(m.node, parent, &packet.ZCRResponse{
+			Origin: m.node, Zone: int16(z), Challenger: m.node, ProcDelay: 0,
+		})
+	}
+}
+
+// HandleChallenge processes a ZCR challenge heard at the parent scope.
+func (m *Manager) HandleChallenge(now eventq.Time, msg *packet.ZCRChallenge) {
+	z := scoping.ZoneID(msg.Zone)
+	if m.net.Hierarchy().Contains(z, m.node) {
+		m.lastChallenge[z] = challengeInfo{challenger: msg.Origin, sentAt: msg.SentAt, recvAt: now}
+	}
+	if msg.Origin == m.zcrOf(z) {
+		m.zcrHeard[z] = now
+		m.suspectZCR[z] = false
+		m.resetWatchdog(z)
+	}
+	parent := m.net.Hierarchy().Parent(z)
+	if parent != scoping.NoZone && m.zcrOf(parent) == m.node && msg.Origin != m.node {
+		// We are the parent ZCR: respond immediately (processing delay
+		// is effectively zero in this simulator, and is carried
+		// explicitly so receivers can subtract it regardless).
+		m.net.Multicast(m.node, parent, &packet.ZCRResponse{
+			Origin: m.node, Zone: msg.Zone, Challenger: msg.Origin, ProcDelay: 0,
+		})
+		if m.net.Hierarchy().Contains(z, m.node) {
+			// We are also a member of the child zone, at distance zero
+			// from its parent ZCR (ourselves) — contest directly,
+			// since we will never hear our own response.
+			m.considerTakeover(now, z, 0)
+		}
+	}
+}
+
+// HandleResponse processes the parent ZCR's response to a challenge,
+// computing this node's distance to the parent ZCR and contesting the
+// ZCR role if closer (§5.2 formula and takeover rules).
+func (m *Manager) HandleResponse(now eventq.Time, msg *packet.ZCRResponse) {
+	z := scoping.ZoneID(msg.Zone)
+	lc, ok := m.lastChallenge[z]
+	if !ok || lc.challenger != msg.Challenger {
+		return // stale or unmatched response
+	}
+	if !m.net.Hierarchy().Contains(z, m.node) {
+		return // parent-zone bystander; nothing to measure
+	}
+
+	var dist float64
+	switch {
+	case msg.Challenger == m.node:
+		// We probed: round trip halved, processing delay removed.
+		dist = (now.Seconds() - lc.sentAt - msg.ProcDelay) / 2
+	case msg.Challenger == m.zcrOf(z):
+		// Passive measurement with the paper's formula:
+		// dist = d(me→localZCR) + (t_replyRecv − t_challengeRecv)
+		//        − procDelay − d(localZCR→parentZCR).
+		rtt, ok := m.DirectRTT(m.zcrOf(z))
+		if !ok {
+			return
+		}
+		if _, known := m.zcr[z]; !known {
+			return
+		}
+		dist = rtt/2 + (now.Sub(lc.recvAt).Seconds() - msg.ProcDelay) - m.zcrDist[z]
+	default:
+		return // challenge came from a usurper; only it can measure
+	}
+	if dist < 0 {
+		dist = 0
+	}
+	m.considerTakeover(now, z, dist)
+}
+
+// considerTakeover schedules a distance-proportional suppressed takeover
+// if this node appears closer to the parent ZCR than the incumbent.
+func (m *Manager) considerTakeover(_ eventq.Time, z scoping.ZoneID, dist float64) {
+	m.myParentDist[z] = dist
+	cur := m.zcrOf(z)
+	if cur == m.node {
+		// Already the ZCR: refresh the advertised distance.
+		m.zcrDist[z] = dist
+		return
+	}
+	if cur != topology.NoNode && !m.suspectZCR[z] && dist+m.cfg.TakeoverEpsilon >= m.zcrDist[z] {
+		return // not meaningfully closer (and the incumbent is alive)
+	}
+	if t := m.pendingTakeover[z]; t != nil && t.Active() {
+		if m.pendingDist[z] <= dist {
+			return // an earlier, closer attempt is already pending
+		}
+		t.Stop()
+	}
+	// Suppression: closer candidates fire earlier, so the closest
+	// receiver in the zone wins the election.
+	delay := eventq.Duration(0.001 + dist*m.rng.Uniform(1.0, 1.3))
+	m.pendingDist[z] = dist
+	m.pendingTakeover[z] = m.net.Sched().After(delay, func(fireAt eventq.Time) {
+		if m.stopped {
+			return
+		}
+		m.sendTakeover(fireAt, z, dist)
+	})
+}
+
+// sendTakeover announces this node as zone z's new ZCR to both the child
+// zone and the parent zone.
+func (m *Manager) sendTakeover(now eventq.Time, z scoping.ZoneID, dist float64) {
+	to := &packet.ZCRTakeover{Origin: m.node, Zone: int16(z), DistToParent: dist}
+	m.net.Multicast(m.node, z, to)
+	if parent := m.net.Hierarchy().Parent(z); parent != scoping.NoZone {
+		m.net.Multicast(m.node, parent, to)
+	}
+	m.setZCR(now, z, m.node, dist)
+}
+
+// HandleTakeover processes a ZCR takeover announcement.
+func (m *Manager) HandleTakeover(now eventq.Time, msg *packet.ZCRTakeover) {
+	z := scoping.ZoneID(msg.Zone)
+	// Suppress our own pending (not-closer) takeover.
+	if t := m.pendingTakeover[z]; t != nil && t.Active() && m.pendingDist[z]+m.cfg.TakeoverEpsilon >= msg.DistToParent {
+		t.Stop()
+	}
+	if m.zcrOf(z) == m.node && msg.Origin != m.node {
+		if d, ok := m.myParentDist[z]; ok && d+m.cfg.TakeoverEpsilon < msg.DistToParent {
+			// The usurper is farther than we are: reassert (§5.2).
+			m.sendTakeover(now, z, d)
+			return
+		}
+	}
+	m.setZCR(now, z, msg.Origin, msg.DistToParent)
+	m.resetWatchdog(z)
+}
+
+// Receive dispatches a session-layer packet to its handler and reports
+// whether the packet was consumed (false for data-plane packets the
+// owning protocol must handle).
+func (m *Manager) Receive(now eventq.Time, pkt packet.Packet) bool {
+	if m.stopped {
+		switch pkt.(type) {
+		case *packet.Session, *packet.ZCRChallenge, *packet.ZCRResponse, *packet.ZCRTakeover:
+			return true // consumed but ignored: the member is dead
+		}
+		return false
+	}
+	switch p := pkt.(type) {
+	case *packet.Session:
+		m.HandleSession(now, p)
+	case *packet.ZCRChallenge:
+		m.HandleChallenge(now, p)
+	case *packet.ZCRResponse:
+		m.HandleResponse(now, p)
+	case *packet.ZCRTakeover:
+		m.HandleTakeover(now, p)
+	default:
+		return false
+	}
+	return true
+}

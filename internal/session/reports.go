@@ -1,0 +1,101 @@
+package session
+
+import (
+	"sharqfec/internal/packet"
+	"sharqfec/internal/scoping"
+	"sharqfec/internal/topology"
+)
+
+// Hierarchical receiver-report aggregation — the §7 proposal of using
+// SHARQFEC's session hierarchy to solve the RTCP announcement problem.
+// Each member publishes its own reception quality; every session message
+// then carries a summary (worst loss fraction, member count) of the
+// subtree its sender represents: ordinary members report themselves,
+// ZCRs fold in everything they heard inside the zones they head. The
+// summaries bubble one level per ZCR, so the source learns the session's
+// worst reception quality with O(zones) rather than O(receivers)
+// reports.
+
+// rrInfo is one heard subtree summary.
+type rrInfo struct {
+	loss    float64
+	members uint32
+}
+
+// SetLocalLossReport publishes this member's own reception quality: the
+// fraction of original packets it lost in transit (before repair).
+func (m *Manager) SetLocalLossReport(frac float64) {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	m.rrLocal = frac
+	m.rrSet = true
+}
+
+// recordReport stores a heard subtree summary for the scope it arrived
+// on.
+func (m *Manager) recordReport(z scoping.ZoneID, msg *packet.Session) {
+	if msg.RRMembers == 0 {
+		return
+	}
+	per := m.heardRR[z]
+	if per == nil {
+		per = make(map[topology.NodeID]rrInfo)
+		m.heardRR[z] = per
+	}
+	per[msg.Origin] = rrInfo{loss: msg.RRWorstLoss, members: msg.RRMembers}
+}
+
+// reportFor computes the summary this member attaches to a message
+// scoped to z: its own report plus the aggregates of every zone below z
+// that it heads.
+func (m *Manager) reportFor(z scoping.ZoneID) (loss float64, members uint32) {
+	if m.rrSet {
+		loss, members = m.rrLocal, 1
+	}
+	for _, c := range m.chain {
+		if c == z || m.zcrOf(c) != m.node {
+			continue
+		}
+		if !m.net.Hierarchy().IsAncestor(z, c) {
+			continue
+		}
+		for origin, ri := range m.heardRR[c] {
+			if origin == m.node {
+				continue
+			}
+			if ri.loss > loss {
+				loss = ri.loss
+			}
+			members += ri.members
+		}
+	}
+	return loss, members
+}
+
+// ReportersHeard returns how many distinct origins have contributed a
+// summary at scope z — the announcement load at that level.
+func (m *Manager) ReportersHeard(z scoping.ZoneID) int { return len(m.heardRR[z]) }
+
+// AggregatedReport returns this member's view of zone z's reception
+// quality: the worst loss fraction reported by any summarized subtree
+// and the number of receivers covered. The source calls this on the
+// root zone for a session-wide view.
+func (m *Manager) AggregatedReport(z scoping.ZoneID) (worstLoss float64, members uint32) {
+	if m.rrSet && m.net.Hierarchy().Contains(z, m.node) {
+		worstLoss, members = m.rrLocal, 1
+	}
+	for origin, ri := range m.heardRR[z] {
+		if origin == m.node {
+			continue
+		}
+		if ri.loss > worstLoss {
+			worstLoss = ri.loss
+		}
+		members += ri.members
+	}
+	return worstLoss, members
+}

@@ -1,0 +1,402 @@
+// Package session implements SHARQFEC's administratively scoped session
+// management (paper §5): staggered per-zone session messages, echo-based
+// round-trip-time measurement, the reduced hierarchical state tables,
+// indirect RTT estimation through Zone Closest Receivers (§5.1), and the
+// adaptive ZCR election / challenge protocol (§5.2).
+//
+// One Manager runs per session member. The enclosing protocol agent
+// forwards SESSION / ZCR-* packets to the Manager and queries it for the
+// distance estimates its suppression timers need.
+package session
+
+import (
+	"sharqfec/internal/eventq"
+	"sharqfec/internal/fabric"
+	"sharqfec/internal/packet"
+	"sharqfec/internal/scoping"
+	"sharqfec/internal/simrand"
+	"sharqfec/internal/topology"
+)
+
+// Config carries the session-management constants. Defaults (from
+// DefaultConfig) are the values the paper's simulations used where it
+// states them, and documented calibrations where it does not.
+type Config struct {
+	// SteadyLo/SteadyHi bound the uniform stagger between session
+	// messages in steady state (paper: [0.9, 1.1] s).
+	SteadyLo, SteadyHi float64
+	// FastLo/FastHi bound the stagger for the first FastCount messages,
+	// to speed convergence (paper: [0.05, 0.25] s for three messages).
+	FastLo, FastHi float64
+	FastCount      int
+	// RTTAlpha is the weight of a new RTT sample in the EWMA merge.
+	RTTAlpha float64
+	// ChallengeLo/ChallengeHi bound the randomized interval between a
+	// ZCR's periodic challenges.
+	ChallengeLo, ChallengeHi float64
+	// WatchdogFactor scales ChallengeHi into the non-ZCR watchdog
+	// window ("slightly larger than that of their ZCR").
+	WatchdogFactor float64
+	// BootstrapLo/BootstrapHi bound the watchdog window used while a
+	// zone has no known ZCR at all, so initial elections finish inside
+	// the paper's five-second session-stabilization window.
+	BootstrapLo, BootstrapHi float64
+	// TakeoverEpsilon is the distance improvement (seconds, one-way)
+	// required before a node attempts a takeover, preventing flapping
+	// between near-equidistant candidates.
+	TakeoverEpsilon float64
+	// DefaultDist is the one-way distance assumed for peers with no
+	// estimate yet (bootstraps suppression timers).
+	DefaultDist float64
+}
+
+// DefaultConfig returns the paper-calibrated session constants.
+func DefaultConfig() Config {
+	return Config{
+		SteadyLo: 0.9, SteadyHi: 1.1,
+		FastLo: 0.05, FastHi: 0.25,
+		FastCount:   3,
+		RTTAlpha:    0.25,
+		ChallengeLo: 2.0, ChallengeHi: 3.0,
+		WatchdogFactor: 1.8,
+		BootstrapLo:    0.4, BootstrapHi: 0.9,
+		TakeoverEpsilon: 0.002,
+		DefaultDist:     0.050,
+	}
+}
+
+// echoInfo records the last session message heard from a peer at one
+// scope, for the entry we will echo back.
+type echoInfo struct {
+	sentAt  float64     // peer's SentAt timestamp
+	arrival eventq.Time // local arrival time
+}
+
+// peerInfo is the per-peer direct RTT state.
+type peerInfo struct {
+	rtt  float64
+	have bool
+}
+
+// challengeInfo tracks the last challenge heard per zone so the matching
+// response can be interpreted.
+type challengeInfo struct {
+	challenger topology.NodeID
+	sentAt     float64     // challenger's timestamp
+	recvAt     eventq.Time // when *we* heard the challenge
+}
+
+// Manager is the per-node session-management state machine.
+type Manager struct {
+	node topology.NodeID
+	net  fabric.Network
+	cfg  Config
+	rng  *simrand.Rand
+
+	chain []scoping.ZoneID // zones containing node, smallest first
+	leaf  scoping.ZoneID
+
+	direct  map[topology.NodeID]*peerInfo
+	heardAt map[scoping.ZoneID]map[topology.NodeID]*echoInfo
+
+	zcr          map[scoping.ZoneID]topology.NodeID
+	zcrDist      map[scoping.ZoneID]float64 // announced one-way ZCR→parent-ZCR distance
+	myParentDist map[scoping.ZoneID]float64 // measured when we are (or probe as) ZCR
+	zcrLink      map[topology.NodeID]map[topology.NodeID]float64
+	zcrHeard     map[scoping.ZoneID]eventq.Time
+
+	lastChallenge   map[scoping.ZoneID]challengeInfo
+	suspectZCR      map[scoping.ZoneID]bool // incumbent silent past watchdog
+	pendingTakeover map[scoping.ZoneID]fabric.Timer
+	pendingDist     map[scoping.ZoneID]float64
+	challengeTimer  map[scoping.ZoneID]fabric.Timer
+	watchdog        map[scoping.ZoneID]fabric.Timer
+
+	msgCount int
+	started  bool
+	stopped  bool
+
+	// receiver-report aggregation (reports.go)
+	rrLocal float64
+	rrSet   bool
+	heardRR map[scoping.ZoneID]map[topology.NodeID]rrInfo
+
+	// MaxSeq is advertised in session messages (SRM tail-loss
+	// detection); the owning protocol keeps it current.
+	MaxSeq uint32
+
+	// Elections counts ZCR takeovers observed, for the §6.1 experiments.
+	Elections int
+}
+
+// New creates a Manager for node. The node's zone chain comes from the
+// network's scoping hierarchy.
+func New(node topology.NodeID, net fabric.Network, cfg Config, rng *simrand.Rand) *Manager {
+	m := &Manager{
+		node:            node,
+		net:             net,
+		cfg:             cfg,
+		rng:             rng,
+		chain:           net.Hierarchy().ZonesOf(node),
+		direct:          make(map[topology.NodeID]*peerInfo),
+		heardAt:         make(map[scoping.ZoneID]map[topology.NodeID]*echoInfo),
+		zcr:             make(map[scoping.ZoneID]topology.NodeID),
+		zcrDist:         make(map[scoping.ZoneID]float64),
+		myParentDist:    make(map[scoping.ZoneID]float64),
+		zcrLink:         make(map[topology.NodeID]map[topology.NodeID]float64),
+		zcrHeard:        make(map[scoping.ZoneID]eventq.Time),
+		lastChallenge:   make(map[scoping.ZoneID]challengeInfo),
+		suspectZCR:      make(map[scoping.ZoneID]bool),
+		pendingTakeover: make(map[scoping.ZoneID]fabric.Timer),
+		pendingDist:     make(map[scoping.ZoneID]float64),
+		challengeTimer:  make(map[scoping.ZoneID]fabric.Timer),
+		watchdog:        make(map[scoping.ZoneID]fabric.Timer),
+		heardRR:         make(map[scoping.ZoneID]map[topology.NodeID]rrInfo),
+	}
+	if len(m.chain) == 0 {
+		panic("session: node is not a member of any zone")
+	}
+	m.leaf = m.chain[0]
+	return m
+}
+
+// Node returns the owning node's ID.
+func (m *Manager) Node() topology.NodeID { return m.node }
+
+// Chain returns the node's zone chain, smallest zone first.
+func (m *Manager) Chain() []scoping.ZoneID { return m.chain }
+
+// Start begins session timers. If root is true the node declares itself
+// the ZCR of the global zone (the data source / top cache, "by design" in
+// the paper's deployments).
+func (m *Manager) Start(root bool) {
+	if m.started {
+		return
+	}
+	m.started = true
+	now := m.net.Sched().Now()
+	if root {
+		rootZone := m.chain[len(m.chain)-1]
+		m.zcr[rootZone] = m.node
+		m.zcrDist[rootZone] = 0
+		m.myParentDist[rootZone] = 0
+		m.zcrHeard[rootZone] = now
+	}
+	m.scheduleSession()
+	// Watchdogs for every non-root zone in the chain: if no ZCR makes
+	// itself heard, this node will issue a challenge (election
+	// bootstrap, §5.2).
+	for _, z := range m.chain {
+		if m.net.Hierarchy().Parent(z) == scoping.NoZone {
+			continue
+		}
+		m.resetWatchdog(z)
+	}
+}
+
+// Stop silences the manager: it ceases sending session messages,
+// challenges and takeovers, and ignores further input — modelling the
+// failure of the member (the host dies; the network keeps routing).
+func (m *Manager) Stop() { m.stopped = true }
+
+// Stopped reports whether Stop was called.
+func (m *Manager) Stopped() bool { return m.stopped }
+
+// scheduleSession arms the next session-message timer with the paper's
+// staggering rule.
+func (m *Manager) scheduleSession() {
+	lo, hi := m.cfg.SteadyLo, m.cfg.SteadyHi
+	if m.msgCount < m.cfg.FastCount {
+		lo, hi = m.cfg.FastLo, m.cfg.FastHi
+	}
+	d := eventq.Duration(m.rng.Uniform(lo, hi))
+	m.net.Sched().After(d, func(now eventq.Time) {
+		if m.stopped {
+			return
+		}
+		m.sendSessionMessages(now)
+		m.scheduleSession()
+	})
+}
+
+// sendSessionMessages emits this node's periodic messages: one scoped to
+// its smallest zone, plus — for every zone it is the ZCR of — one to that
+// (child) zone and one to the zone's parent (§5 rules: "the first session
+// message lists entries for the child zone's receivers and is sent to the
+// child zone, while the second is sent to the parent zone").
+func (m *Manager) sendSessionMessages(now eventq.Time) {
+	m.msgCount++
+	sent := map[scoping.ZoneID]bool{m.leaf: true}
+	m.sendSessionFor(now, m.leaf)
+	for _, z := range m.chain {
+		if m.zcr[z] != m.node {
+			continue
+		}
+		if !sent[z] {
+			sent[z] = true
+			m.sendSessionFor(now, z)
+		}
+		if p := m.net.Hierarchy().Parent(z); p != scoping.NoZone && !sent[p] {
+			sent[p] = true
+			m.sendSessionFor(now, p)
+		}
+	}
+}
+
+// sendSessionFor builds and multicasts the session message for zone z.
+func (m *Manager) sendSessionFor(now eventq.Time, z scoping.ZoneID) {
+	msg := &packet.Session{
+		Origin: m.node,
+		Zone:   int16(z),
+		SentAt: now.Seconds(),
+		ZCR:    topology.NoNode,
+		MaxSeq: m.MaxSeq,
+	}
+	msg.RRWorstLoss, msg.RRMembers = m.reportFor(z)
+	if zcr, ok := m.zcr[z]; ok {
+		msg.ZCR = zcr
+		if zcr == m.node {
+			msg.ZCRParentDist = m.myParentDist[z]
+		} else {
+			msg.ZCRParentDist = m.zcrDist[z]
+		}
+	}
+	for peer, e := range m.heardAt[z] {
+		entry := packet.SessionEntry{
+			Peer:       peer,
+			SinceHeard: now.Sub(e.arrival).Seconds(),
+			Echo:       e.sentAt,
+		}
+		if pi := m.direct[peer]; pi != nil && pi.have {
+			entry.RTT = pi.rtt
+		}
+		msg.Entries = append(msg.Entries, entry)
+	}
+	m.net.Multicast(m.node, z, msg)
+}
+
+// HandleSession processes a received session message.
+func (m *Manager) HandleSession(now eventq.Time, msg *packet.Session) {
+	z := scoping.ZoneID(msg.Zone)
+	// Record the peer for echoing in our next message at this scope.
+	peers := m.heardAt[z]
+	if peers == nil {
+		peers = make(map[topology.NodeID]*echoInfo)
+		m.heardAt[z] = peers
+	}
+	peers[msg.Origin] = &echoInfo{sentAt: msg.SentAt, arrival: now}
+	m.recordReport(z, msg)
+
+	// RTT sample from the echo of our own previous message.
+	for _, e := range msg.Entries {
+		if e.Peer == m.node && e.Echo > 0 {
+			sample := now.Seconds() - e.Echo - e.SinceHeard
+			if sample >= 0 {
+				m.observeRTT(msg.Origin, sample)
+			}
+		}
+	}
+
+	// Zone bookkeeping from the header.
+	if msg.ZCR != topology.NoNode {
+		if cur, ok := m.zcr[z]; !ok || cur != msg.ZCR {
+			// Adopt announcements; the challenge protocol corrects
+			// stale claims.
+			if !ok || msg.Origin == msg.ZCR || msg.Origin == cur {
+				m.setZCR(now, z, msg.ZCR, msg.ZCRParentDist)
+			}
+		} else if msg.Origin == msg.ZCR {
+			m.zcrDist[z] = msg.ZCRParentDist
+		}
+	}
+	if msg.Origin == m.zcrOf(z) {
+		m.zcrHeard[z] = now
+		m.suspectZCR[z] = false
+		m.resetWatchdog(z)
+	}
+
+	// If the sender is one of our chain ZCRs, record its view of its
+	// peers — the reduced state table of Figure 5.
+	for _, c := range m.chain {
+		if m.zcrOf(c) == msg.Origin {
+			links := m.zcrLink[msg.Origin]
+			if links == nil {
+				links = make(map[topology.NodeID]float64)
+				m.zcrLink[msg.Origin] = links
+			}
+			for _, e := range msg.Entries {
+				if e.RTT > 0 {
+					links[e.Peer] = e.RTT
+				}
+			}
+			break
+		}
+	}
+}
+
+// observeRTT merges a new RTT sample for peer with the EWMA filter.
+func (m *Manager) observeRTT(peer topology.NodeID, sample float64) {
+	pi := m.direct[peer]
+	if pi == nil {
+		pi = &peerInfo{}
+		m.direct[peer] = pi
+	}
+	if !pi.have {
+		pi.rtt = sample
+		pi.have = true
+		return
+	}
+	pi.rtt = (1-m.cfg.RTTAlpha)*pi.rtt + m.cfg.RTTAlpha*sample
+}
+
+// zcrOf returns the believed ZCR of z, or NoNode.
+func (m *Manager) zcrOf(z scoping.ZoneID) topology.NodeID {
+	if n, ok := m.zcr[z]; ok {
+		return n
+	}
+	return topology.NoNode
+}
+
+// ZCR returns the node currently believed to be z's Zone Closest
+// Receiver, or topology.NoNode if none is known yet.
+func (m *Manager) ZCR(z scoping.ZoneID) topology.NodeID { return m.zcrOf(z) }
+
+// IsZCR reports whether this node believes it is the ZCR of z.
+func (m *Manager) IsZCR(z scoping.ZoneID) bool { return m.zcrOf(z) == m.node }
+
+// StateSize returns the number of RTT entries this member maintains:
+// direct peer estimates plus recorded ZCR link tables — the "RTTs
+// maintained per receiver" quantity of Figure 8.
+func (m *Manager) StateSize() int {
+	n := len(m.direct)
+	for _, links := range m.zcrLink {
+		n += len(links)
+	}
+	return n
+}
+
+// DirectRTT returns the direct RTT estimate to peer, if one exists.
+func (m *Manager) DirectRTT(peer topology.NodeID) (float64, bool) {
+	if pi := m.direct[peer]; pi != nil && pi.have {
+		return pi.rtt, true
+	}
+	return 0, false
+}
+
+// setZCR installs a new ZCR belief for z.
+func (m *Manager) setZCR(now eventq.Time, z scoping.ZoneID, n topology.NodeID, dist float64) {
+	prev, had := m.zcr[z]
+	m.zcr[z] = n
+	m.zcrDist[z] = dist
+	m.zcrHeard[z] = now
+	m.suspectZCR[z] = false
+	if had && prev != n {
+		m.Elections++
+	}
+	if n == m.node {
+		m.startChallengeDuty(z)
+	} else if t := m.challengeTimer[z]; t != nil {
+		t.Stop()
+		delete(m.challengeTimer, z)
+	}
+}

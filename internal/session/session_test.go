@@ -1,0 +1,494 @@
+package session
+
+import (
+	"math"
+	"testing"
+
+	"sharqfec/internal/eventq"
+	"sharqfec/internal/netsim"
+	"sharqfec/internal/packet"
+	"sharqfec/internal/scoping"
+	"sharqfec/internal/simrand"
+	"sharqfec/internal/topology"
+)
+
+// sessAgent adapts a Manager to netsim.Agent for session-only tests.
+type sessAgent struct{ m *Manager }
+
+func (a *sessAgent) Receive(now eventq.Time, d netsim.Delivery) { a.m.Receive(now, d.Pkt) }
+
+// harness wires managers for every member of a spec.
+type harness struct {
+	net  *netsim.Network
+	mgrs map[topology.NodeID]*Manager
+	spec *topology.Spec
+}
+
+func newHarness(t *testing.T, spec *topology.Spec, seed uint64) *harness {
+	t.Helper()
+	h, err := scoping.Build(spec.Zones)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q eventq.Queue
+	src := simrand.New(seed)
+	n := netsim.New(&q, spec.Graph, h, src)
+	hs := &harness{net: n, mgrs: map[topology.NodeID]*Manager{}, spec: spec}
+	for _, member := range spec.Members() {
+		m := New(member, n, DefaultConfig(), src.StreamN("session", int(member)))
+		hs.mgrs[member] = m
+		n.Attach(member, &sessAgent{m: m})
+	}
+	return hs
+}
+
+// startAll starts every manager at t=1 s (the paper's join time) and runs
+// the simulation until `until` seconds.
+func (h *harness) startAll(until float64) {
+	h.net.Q.At(1, func(eventq.Time) {
+		for _, member := range h.spec.Members() {
+			h.mgrs[member].Start(member == h.spec.Source)
+		}
+	})
+	h.net.Q.RunUntil(eventq.Time(until))
+}
+
+// twoLevelChain is a 0—1—2—3 chain where {1,2,3} form a child zone under
+// the root: node 1 is the true ZCR (closest to the source).
+func twoLevelChain() *topology.Spec {
+	spec := topology.Chain(4, 10e6, 0.010, 0)
+	spec.Zones = []topology.ZoneSpec{
+		{ID: 0, Parent: -1, Leaves: []topology.NodeID{0}},
+		{ID: 1, Parent: 0, Leaves: []topology.NodeID{1, 2, 3}},
+	}
+	return spec
+}
+
+func TestDirectRTTMeasurement(t *testing.T) {
+	spec := topology.Chain(2, 10e6, 0.025, 0)
+	h := newHarness(t, spec, 5)
+	h.startAll(10)
+	rtt, ok := h.mgrs[0].DirectRTT(1)
+	if !ok {
+		t.Fatal("node 0 has no RTT estimate for node 1")
+	}
+	// True propagation RTT is 50 ms; session packets also pay two small
+	// transmission delays, so allow a few percent.
+	if math.Abs(rtt-0.050)/0.050 > 0.10 {
+		t.Fatalf("RTT estimate %v, want ≈0.050", rtt)
+	}
+	rtt2, ok := h.mgrs[1].DirectRTT(0)
+	if !ok || math.Abs(rtt2-0.050)/0.050 > 0.10 {
+		t.Fatalf("reverse RTT %v ok=%v", rtt2, ok)
+	}
+}
+
+func TestRootZCRAnnounced(t *testing.T) {
+	spec := twoLevelChain()
+	h := newHarness(t, spec, 6)
+	h.startAll(5)
+	for _, n := range spec.Members() {
+		if got := h.mgrs[n].ZCR(0); got != 0 {
+			t.Fatalf("node %d believes root ZCR is %d, want 0", n, got)
+		}
+	}
+}
+
+func TestChainElection(t *testing.T) {
+	spec := twoLevelChain()
+	h := newHarness(t, spec, 7)
+	h.startAll(20)
+	for _, n := range spec.Members() {
+		if got := h.mgrs[n].ZCR(1); got != 1 {
+			t.Fatalf("node %d believes zone-1 ZCR is %d, want 1 (closest to source)", n, got)
+		}
+	}
+	// The elected ZCR's measured distance to the parent ZCR should be
+	// close to the true 10 ms one-way latency.
+	d := h.mgrs[1].myParentDist[1]
+	if math.Abs(d-0.010) > 0.004 {
+		t.Fatalf("ZCR distance to parent %v, want ≈0.010", d)
+	}
+}
+
+func TestForkElection(t *testing.T) {
+	// Star: hub 0, spokes at 10/20/30 ms. Zone {1,2,3} under root: node
+	// 1 (10 ms) must win.
+	spec := topology.Star(4, 10e6, 0.010, 0)
+	spec.Zones = []topology.ZoneSpec{
+		{ID: 0, Parent: -1, Leaves: []topology.NodeID{0}},
+		{ID: 1, Parent: 0, Leaves: []topology.NodeID{1, 2, 3}},
+	}
+	h := newHarness(t, spec, 8)
+	h.startAll(20)
+	for _, n := range spec.Members() {
+		if got := h.mgrs[n].ZCR(1); got != 1 {
+			t.Fatalf("node %d believes fork ZCR is %d, want 1", n, got)
+		}
+	}
+}
+
+func TestElectionConvergesWithinTwoChallenges(t *testing.T) {
+	// §6.1: "each election at each zone taking either one or two
+	// challenges". After the bootstrap window plus two challenge
+	// intervals (≈ 1 + 1 + 2×3 s) the right ZCR must be in place.
+	spec := twoLevelChain()
+	h := newHarness(t, spec, 9)
+	h.startAll(9)
+	if got := h.mgrs[3].ZCR(1); got != 1 {
+		t.Fatalf("zone-1 ZCR after two challenge rounds = %d, want 1", got)
+	}
+}
+
+func TestFigure10Elections(t *testing.T) {
+	spec := topology.Figure10(topology.Figure10Params{})
+	h := newHarness(t, spec, 10)
+	h.startAll(30)
+	hier := h.net.H
+	// Intermediate zones (parents = root): ZCR must be the mesh node.
+	// Leaf zones: ZCR must be the tree child (closest to the mesh).
+	for z := scoping.ZoneID(0); int(z) < hier.NumZones(); z++ {
+		parent := hier.Parent(z)
+		if parent == scoping.NoZone {
+			continue
+		}
+		leaves := hier.Leaves(z)
+		want := leaves[0] // builders list the closest node first
+		// Check from the viewpoint of every member of the zone.
+		for _, n := range hier.Members(z) {
+			if got := h.mgrs[n].ZCR(z); got != want {
+				t.Fatalf("node %d: zone %d ZCR = %d, want %d", n, z, got, want)
+			}
+		}
+	}
+}
+
+func TestIndirectRTTEstimation(t *testing.T) {
+	spec := topology.Figure10(topology.Figure10Params{})
+	h := newHarness(t, spec, 11)
+	h.startAll(30)
+
+	// Figures 11–13 procedure: a receiver sends a NACK-like message
+	// carrying its ancestor list; every other receiver estimates the
+	// RTT and we compare against ground truth.
+	for _, sender := range []topology.NodeID{3, 25, 36} {
+		anc := h.mgrs[sender].AncestorList()
+		if len(anc) == 0 {
+			t.Fatalf("sender %d has empty ancestor list", sender)
+		}
+		within := 0
+		able := 0
+		for _, n := range spec.Members() {
+			if n == sender {
+				continue
+			}
+			est, ok := h.mgrs[n].EstimateRTT(sender, anc)
+			if !ok {
+				continue
+			}
+			able++
+			truth := 2 * float64(h.net.OneWayDelay(sender, n))
+			if truth == 0 {
+				continue
+			}
+			if math.Abs(est-truth)/truth < 0.25 {
+				within++
+			}
+		}
+		if able < len(spec.Members())/2 {
+			t.Fatalf("sender %d: only %d receivers could estimate", sender, able)
+		}
+		if float64(within)/float64(able) < 0.5 {
+			t.Fatalf("sender %d: only %d/%d estimates within 25%%", sender, within, able)
+		}
+	}
+}
+
+func TestSessionTrafficScoped(t *testing.T) {
+	// Scoped session traffic must deliver far fewer packets than the
+	// all-pairs equivalent: in Figure 10 each member hears only its
+	// zone peers and ancestor-zone participants.
+	spec := topology.Figure10(topology.Figure10Params{})
+	h := newHarness(t, spec, 12)
+	deliveries := 0
+	h.net.AddTap(func(_ eventq.Time, _ topology.NodeID, d netsim.Delivery) {
+		if d.Pkt.Kind() == packet.TypeSession {
+			deliveries++
+		}
+	})
+	h.startAll(11) // ten steady-state seconds
+	// Non-scoped all-pairs would be ≈113 senders × 112 hearers × 10 s
+	// ≈ 126k deliveries. Scoped must be well under a quarter of that.
+	if deliveries > 32000 {
+		t.Fatalf("scoped session deliveries = %d, want ≪ 126k", deliveries)
+	}
+	if deliveries < 1000 {
+		t.Fatalf("suspiciously few session deliveries: %d", deliveries)
+	}
+}
+
+func TestAncestorListOrdering(t *testing.T) {
+	spec := topology.Figure10(topology.Figure10Params{})
+	h := newHarness(t, spec, 13)
+	h.startAll(30)
+	// A grandchild's ancestors: leaf ZCR then intermediate ZCR; RTTs
+	// must be nondecreasing (composed estimates).
+	anc := h.mgrs[12].AncestorList()
+	if len(anc) < 2 {
+		t.Fatalf("grandchild ancestor list too short: %v", anc)
+	}
+	for i := 1; i < len(anc); i++ {
+		if anc[i].RTT+1e-9 < anc[i-1].RTT {
+			t.Fatalf("ancestor RTTs not nondecreasing: %v", anc)
+		}
+	}
+}
+
+func TestDistFallback(t *testing.T) {
+	spec := topology.Chain(3, 10e6, 0.010, 0)
+	h := newHarness(t, spec, 14)
+	// Before any session traffic, Dist falls back to the default.
+	if d := h.mgrs[0].Dist(2, nil); d != DefaultConfig().DefaultDist {
+		t.Fatalf("fallback dist = %v", d)
+	}
+}
+
+func TestMostDistantRTT(t *testing.T) {
+	spec := twoLevelChain()
+	h := newHarness(t, spec, 15)
+	h.startAll(20)
+	// Zone 1 spans nodes 1..3; from node 1 the most distant member is
+	// node 3 at RTT ≈ 40 ms.
+	got := h.mgrs[1].MostDistantRTT(1)
+	if math.Abs(got-0.040)/0.040 > 0.2 {
+		t.Fatalf("MostDistantRTT = %v, want ≈0.040", got)
+	}
+}
+
+func TestEstimateRTTSelf(t *testing.T) {
+	spec := topology.Chain(2, 10e6, 0.010, 0)
+	h := newHarness(t, spec, 16)
+	if rtt, ok := h.mgrs[0].EstimateRTT(0, nil); !ok || rtt != 0 {
+		t.Fatalf("self RTT = %v ok=%v", rtt, ok)
+	}
+}
+
+func TestZCRReassertsAgainstFartherUsurper(t *testing.T) {
+	spec := twoLevelChain()
+	h := newHarness(t, spec, 17)
+	h.startAll(20)
+	// Node 3 (farther) forges a takeover; node 1 must reassert and all
+	// nodes settle back on node 1.
+	h.net.Q.At(20, func(now eventq.Time) {
+		forged := &packet.ZCRTakeover{Origin: 3, Zone: 1, DistToParent: 0.5}
+		h.net.Multicast(3, 0, forged)
+		h.net.Multicast(3, 1, forged)
+		h.mgrs[3].setZCR(now, 1, 3, 0.5)
+	})
+	h.net.Q.RunUntil(30)
+	for _, n := range spec.Members() {
+		if got := h.mgrs[n].ZCR(1); got != 1 {
+			t.Fatalf("node %d: ZCR = %d after forged takeover, want 1 restored", n, got)
+		}
+	}
+}
+
+func TestDeterministicElections(t *testing.T) {
+	run := func() topology.NodeID {
+		spec := topology.Figure10(topology.Figure10Params{})
+		h := newHarness(t, spec, 99)
+		h.startAll(25)
+		return h.mgrs[50].ZCR(h.net.H.LeafZone(50))
+	}
+	if run() != run() {
+		t.Fatal("elections not deterministic for fixed seed")
+	}
+}
+
+func TestChainAccessors(t *testing.T) {
+	spec := topology.Figure10(topology.Figure10Params{})
+	h := newHarness(t, spec, 18)
+	m := h.mgrs[12]
+	if m.Node() != 12 {
+		t.Fatal("Node accessor wrong")
+	}
+	if len(m.Chain()) != 3 {
+		t.Fatalf("grandchild chain length %d, want 3", len(m.Chain()))
+	}
+}
+
+func TestZCRFailureTriggersReelection(t *testing.T) {
+	// Kill the elected zone ZCR mid-session; the watchdog must notice
+	// the silence and the survivors must elect the next-closest member
+	// (§5.2 robustness: "should the old ZCR leave the session").
+	spec := twoLevelChain()
+	h := newHarness(t, spec, 31)
+	h.startAll(20)
+	if got := h.mgrs[1].ZCR(1); got != 1 {
+		t.Fatalf("precondition: ZCR = %d, want 1", got)
+	}
+	h.mgrs[1].Stop()
+	h.net.Q.RunUntil(60)
+	for _, n := range []topology.NodeID{2, 3} {
+		if got := h.mgrs[n].ZCR(1); got != 2 {
+			t.Fatalf("node %d: post-failure ZCR = %d, want 2 (next closest)", n, got)
+		}
+	}
+}
+
+func TestStoppedManagerStaysSilent(t *testing.T) {
+	spec := twoLevelChain()
+	h := newHarness(t, spec, 32)
+	h.startAll(5)
+	h.mgrs[3].Stop()
+	if !h.mgrs[3].Stopped() {
+		t.Fatal("Stopped() false after Stop")
+	}
+	var heardFrom3 bool
+	h.net.AddTap(func(_ eventq.Time, _ topology.NodeID, d netsim.Delivery) {
+		if s, ok := d.Pkt.(*packet.Session); ok && s.Origin == 3 {
+			heardFrom3 = true
+		}
+	})
+	h.net.Q.RunUntil(20)
+	if heardFrom3 {
+		t.Fatal("stopped manager kept sending session messages")
+	}
+}
+
+func TestReceiverReportAggregation(t *testing.T) {
+	// Figure-10: grandchildren publish distinct loss fractions; their
+	// leaf ZCRs aggregate to the intermediate scope, mesh ZCRs to the
+	// root, and the source's view converges on the session-wide worst.
+	spec := topology.Figure10(topology.Figure10Params{})
+	h := newHarness(t, spec, 40)
+	h.net.Q.At(1, func(eventq.Time) {
+		for _, member := range h.spec.Members() {
+			h.mgrs[member].Start(member == h.spec.Source)
+		}
+	})
+	// Publish reports at t=2: receiver n reports n/1000 loss, so the
+	// worst is node 112's 0.112.
+	h.net.Q.At(2, func(eventq.Time) {
+		for _, member := range h.spec.Receivers {
+			h.mgrs[member].SetLocalLossReport(float64(member) / 1000)
+		}
+	})
+	h.net.Q.RunUntil(30)
+
+	worst, members := h.mgrs[0].AggregatedReport(0)
+	if worst < 0.111 || worst > 0.113 {
+		t.Fatalf("source's worst-loss view = %v, want 0.112", worst)
+	}
+	if int(members) < 100 {
+		t.Fatalf("source's aggregation covers %d members", members)
+	}
+	// The source should hear only root-scope participants (mesh ZCRs
+	// and root-level peers), not all 112 receivers.
+	if n := h.mgrs[0].ReportersHeard(0); n > 20 {
+		t.Fatalf("source heard %d direct reporters", n)
+	}
+}
+
+func TestSetLocalLossReportClamped(t *testing.T) {
+	spec := topology.Chain(2, 10e6, 0.010, 0)
+	h := newHarness(t, spec, 41)
+	m := h.mgrs[1]
+	m.SetLocalLossReport(-0.5)
+	if m.rrLocal != 0 {
+		t.Fatal("negative report not clamped")
+	}
+	m.SetLocalLossReport(1.5)
+	if m.rrLocal != 1 {
+		t.Fatal("overlarge report not clamped")
+	}
+}
+
+func TestHopRTTReverseLookup(t *testing.T) {
+	spec := twoLevelChain()
+	h := newHarness(t, spec, 42)
+	m := h.mgrs[3]
+	// Record a one-directional link table and look it up both ways.
+	m.zcrLink[5] = map[topology.NodeID]float64{7: 0.123}
+	if rtt, ok := m.hopRTT(5, 7); !ok || rtt != 0.123 {
+		t.Fatalf("forward hop = %v %v", rtt, ok)
+	}
+	if rtt, ok := m.hopRTT(7, 5); !ok || rtt != 0.123 {
+		t.Fatalf("reverse hop = %v %v", rtt, ok)
+	}
+	if _, ok := m.hopRTT(7, 9); ok {
+		t.Fatal("unknown hop resolved")
+	}
+}
+
+func TestRTTToChainZCRUnknown(t *testing.T) {
+	spec := twoLevelChain()
+	h := newHarness(t, spec, 43)
+	// No session traffic: no ZCRs known, composition must fail cleanly.
+	if _, ok := h.mgrs[3].RTTToChainZCR(0); ok {
+		t.Fatal("composed RTT with no election data")
+	}
+	if _, ok := h.mgrs[3].RTTToChainZCR(-1); ok {
+		t.Fatal("negative index accepted")
+	}
+	if _, ok := h.mgrs[3].RTTToChainZCR(99); ok {
+		t.Fatal("out-of-range index accepted")
+	}
+}
+
+func TestEstimateRTTViaDirectAncestor(t *testing.T) {
+	spec := twoLevelChain()
+	h := newHarness(t, spec, 44)
+	m := h.mgrs[2]
+	m.observeRTT(1, 0.040) // we know node 1 directly
+	// Unknown sender 9 supplies its RTT to node 1: estimate composes.
+	est, ok := m.EstimateRTT(9, []packet.AncestorRTT{{ZCR: 1, RTT: 0.020}})
+	if !ok || math.Abs(est-0.060) > 1e-9 {
+		t.Fatalf("composed estimate = %v %v, want 0.060", est, ok)
+	}
+}
+
+func TestEstimateRTTNoPath(t *testing.T) {
+	spec := twoLevelChain()
+	h := newHarness(t, spec, 45)
+	if _, ok := h.mgrs[2].EstimateRTT(9, nil); ok {
+		t.Fatal("estimate formed with no information")
+	}
+}
+
+func TestObserveRTTEWMA(t *testing.T) {
+	spec := twoLevelChain()
+	h := newHarness(t, spec, 46)
+	m := h.mgrs[2]
+	m.observeRTT(7, 0.100) // first sample taken whole
+	if rtt, _ := m.DirectRTT(7); rtt != 0.100 {
+		t.Fatalf("first sample = %v", rtt)
+	}
+	m.observeRTT(7, 0.200) // 0.75·0.1 + 0.25·0.2
+	if rtt, _ := m.DirectRTT(7); math.Abs(rtt-0.125) > 1e-9 {
+		t.Fatalf("EWMA = %v, want 0.125", rtt)
+	}
+}
+
+func TestStateSizeCountsTables(t *testing.T) {
+	spec := twoLevelChain()
+	h := newHarness(t, spec, 47)
+	m := h.mgrs[2]
+	if m.StateSize() != 0 {
+		t.Fatal("fresh manager has state")
+	}
+	m.observeRTT(1, 0.01)
+	m.zcrLink[1] = map[topology.NodeID]float64{0: 0.02, 5: 0.03}
+	if m.StateSize() != 3 {
+		t.Fatalf("StateSize = %d, want 3", m.StateSize())
+	}
+}
+
+func TestReportForWithoutLocalReport(t *testing.T) {
+	spec := twoLevelChain()
+	h := newHarness(t, spec, 48)
+	loss, members := h.mgrs[2].reportFor(1)
+	if loss != 0 || members != 0 {
+		t.Fatalf("empty manager reported %v/%d", loss, members)
+	}
+}

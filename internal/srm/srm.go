@@ -1,0 +1,455 @@
+// Package srm implements the Scalable Reliable Multicast protocol of
+// Floyd, Jacobson, McCanne, Liu and Zhang (SIGCOMM '95) — the pure-ARQ
+// baseline of the paper's Figures 14–15.
+//
+// SRM has no FEC and no scoping: every packet is individually NACKed and
+// retransmitted at global scope, with receiver-based repair and
+// distance-proportional suppression timers. Session messages carry
+// all-pairs RTT state (the O(n²) cost SHARQFEC's hierarchy removes).
+// Following the paper's setup, the simulation runs SRM "with adaptive
+// timers turned on for best possible performance": the request and reply
+// timer constants adapt to observed duplicate requests/replies in the
+// style of the SRM paper's adaptive algorithm.
+package srm
+
+import (
+	"fmt"
+
+	"sharqfec/internal/eventq"
+	"sharqfec/internal/fabric"
+	"sharqfec/internal/packet"
+	"sharqfec/internal/scoping"
+	"sharqfec/internal/session"
+	"sharqfec/internal/simrand"
+	"sharqfec/internal/topology"
+)
+
+// Config carries SRM's parameters. Timer constants are initial values;
+// with Adaptive set they evolve within the documented bounds.
+type Config struct {
+	Source      topology.NodeID
+	PayloadSize int
+	Rate        float64
+	NumPackets  int
+
+	// C1, C2 shape the request timer 2^i·U[C1·d, (C1+C2)·d].
+	C1, C2 float64
+	// D1, D2 shape the reply timer U[D1·d, (D1+D2)·d].
+	D1, D2 float64
+	// Adaptive enables timer-constant adaptation.
+	Adaptive bool
+	// HoldDown is the quiet period (in units of one-way distance to the
+	// requester) after sending or hearing a repair during which new
+	// requests for the same packet are ignored (the SRM paper's "3·d"
+	// ignore-backoff).
+	HoldDown float64
+
+	Session session.Config
+}
+
+// DefaultConfig returns SRM defaults matching the paper's simulations
+// (same stream as SHARQFEC; adaptive timers on).
+func DefaultConfig() Config {
+	return Config{
+		Source:      0,
+		PayloadSize: 1000 - 17,
+		Rate:        800e3,
+		NumPackets:  1024,
+		C1:          2, C2: 2,
+		D1: 1, D2: 1,
+		Adaptive: true,
+		HoldDown: 3,
+		Session:  session.DefaultConfig(),
+	}
+}
+
+// InterPacket returns the source's data inter-packet interval in seconds.
+func (c *Config) InterPacket() float64 {
+	return float64(c.PayloadSize+17) * 8 / c.Rate
+}
+
+// Stats are per-agent counters.
+type Stats struct {
+	RequestsSent       int
+	RequestsSuppressed int
+	RepairsSent        int
+	RepairsSuppressed  int
+	DataReceived       int
+	DupRepairs         int
+	PacketsHeld        int
+}
+
+// pktState tracks one sequence number at one receiver.
+type pktState struct {
+	have     bool
+	payload  []byte
+	reqTimer fabric.Timer
+	reqExp   int // i in 2^i·[C1 d, (C1+C2) d]; 0 initially per SRM
+	repTimer fabric.Timer
+	holdTill eventq.Time // ignore requests until then (hold-down)
+	// dupReq/dupRep count duplicates observed for timer adaptation.
+	dupReq, dupRep int
+	requestedAt    eventq.Time
+}
+
+// Agent is one SRM session member.
+type Agent struct {
+	node topology.NodeID
+	net  fabric.Network
+	cfg  Config
+	rng  *simrand.Rand
+	sess *session.Manager
+
+	isSource bool
+	root     scoping.ZoneID
+
+	pkts   map[uint32]*pktState
+	maxSeq int64
+
+	// adaptive timer state (EWMAs of duplicates and delay ratios)
+	c1, c2, d1, d2 float64
+	aveDupReq      float64
+	aveDupRep      float64
+
+	sendData map[uint32][]byte
+
+	// OnDeliver fires for every original packet the first time it is
+	// held (received or repaired).
+	OnDeliver func(now eventq.Time, seq uint32, payload []byte)
+
+	Stats Stats
+}
+
+// New creates an SRM agent and attaches it to the network. SRM ignores
+// the zone hierarchy: all traffic uses the root (global) scope.
+func New(node topology.NodeID, net fabric.Network, cfg Config, src *simrand.Source) (*Agent, error) {
+	if cfg.NumPackets <= 0 {
+		return nil, fmt.Errorf("srm: NumPackets must be positive")
+	}
+	a := &Agent{
+		node:     node,
+		net:      net,
+		cfg:      cfg,
+		rng:      src.StreamN("srm", int(node)),
+		isSource: node == cfg.Source,
+		root:     net.Hierarchy().Root(),
+		pkts:     make(map[uint32]*pktState),
+		maxSeq:   -1,
+		c1:       cfg.C1, c2: cfg.C2,
+		d1: cfg.D1, d2: cfg.D2,
+	}
+	a.sess = session.New(node, net, cfg.Session, src.StreamN("session", int(node)))
+	if a.isSource {
+		a.sendData = make(map[uint32][]byte)
+	}
+	net.Attach(node, a)
+	return a, nil
+}
+
+// Node returns the agent's node ID.
+func (a *Agent) Node() topology.NodeID { return a.node }
+
+// Join starts session management (the source heads the global zone).
+func (a *Agent) Join() { a.sess.Start(a.isSource) }
+
+// StartSource schedules the CBR stream from the current simulated time.
+func (a *Agent) StartSource() {
+	if !a.isSource {
+		panic("srm: StartSource on a receiver")
+	}
+	ipt := eventq.Duration(a.cfg.InterPacket())
+	for s := 0; s < a.cfg.NumPackets; s++ {
+		seq := uint32(s)
+		a.net.Sched().After(eventq.Duration(float64(s))*ipt, func(now eventq.Time) {
+			a.sourceSend(now, seq)
+		})
+	}
+}
+
+func (a *Agent) sourceSend(now eventq.Time, seq uint32) {
+	payload := make([]byte, a.cfg.PayloadSize)
+	for j := range payload {
+		payload[j] = byte(a.rng.IntN(256))
+	}
+	a.sendData[seq] = payload
+	st := a.state(seq)
+	st.have = true
+	st.payload = payload
+	a.net.Multicast(a.node, a.root, &packet.Data{
+		Origin:  a.node,
+		Seq:     seq,
+		Group:   seq, // SRM has no groups; mirror seq for the codecs
+		Index:   0,
+		GroupK:  1,
+		Payload: payload,
+	})
+	a.sess.MaxSeq = seq + 1
+}
+
+func (a *Agent) state(seq uint32) *pktState {
+	st := a.pkts[seq]
+	if st == nil {
+		st = &pktState{}
+		a.pkts[seq] = st
+	}
+	return st
+}
+
+// Receive implements fabric.Agent.
+func (a *Agent) Receive(now eventq.Time, d fabric.Delivery) {
+	if sp, ok := d.Pkt.(*packet.Session); ok {
+		if hw := int64(sp.MaxSeq) - 1; !a.isSource && hw > a.maxSeq {
+			for s := a.maxSeq + 1; s <= hw; s++ {
+				a.noteLoss(now, uint32(s))
+			}
+			a.maxSeq = hw
+		}
+	}
+	if a.sess.Receive(now, d.Pkt) {
+		return
+	}
+	switch p := d.Pkt.(type) {
+	case *packet.Data:
+		a.handleData(now, p)
+	case *packet.Repair:
+		a.handleRepair(now, p)
+	case *packet.NACK:
+		a.handleRequest(now, p)
+	}
+}
+
+// handleData stores an original packet and opens loss gaps.
+func (a *Agent) handleData(now eventq.Time, p *packet.Data) {
+	if a.isSource {
+		return
+	}
+	a.Stats.DataReceived++
+	a.hold(now, p.Seq, p.Payload)
+	if int64(p.Seq) > a.maxSeq {
+		for s := a.maxSeq + 1; s < int64(p.Seq); s++ {
+			a.noteLoss(now, uint32(s))
+		}
+		a.maxSeq = int64(p.Seq)
+		if a.sess.MaxSeq < p.Seq+1 {
+			a.sess.MaxSeq = p.Seq + 1
+		}
+	}
+}
+
+// hold records possession of seq's payload and cancels pending timers.
+func (a *Agent) hold(now eventq.Time, seq uint32, payload []byte) {
+	st := a.state(seq)
+	if st.have {
+		return
+	}
+	st.have = true
+	st.payload = payload
+	a.Stats.PacketsHeld++
+	if st.reqTimer != nil && st.reqTimer.Active() {
+		st.reqTimer.Stop()
+	}
+	if a.OnDeliver != nil {
+		a.OnDeliver(now, seq, payload)
+	}
+}
+
+// noteLoss arms a request timer for a newly detected missing packet.
+func (a *Agent) noteLoss(now eventq.Time, seq uint32) {
+	st := a.state(seq)
+	if st.have {
+		return
+	}
+	a.armRequestTimer(now, seq, st)
+}
+
+// armRequestTimer draws the SRM request delay 2^i·U[C1·d, (C1+C2)·d]
+// with d the one-way distance estimate to the source.
+func (a *Agent) armRequestTimer(now eventq.Time, seq uint32, st *pktState) {
+	if st.have || (st.reqTimer != nil && st.reqTimer.Active()) {
+		return
+	}
+	if st.reqExp > 8 {
+		st.reqExp = 8
+	}
+	d := a.sess.Dist(a.cfg.Source, nil)
+	f := float64(uint(1) << uint(st.reqExp))
+	delay := eventq.Duration(a.rng.Uniform(f*a.c1*d, f*(a.c1+a.c2)*d))
+	st.reqTimer = a.net.Sched().After(delay, func(fire eventq.Time) {
+		a.requestFired(fire, seq, st)
+	})
+}
+
+func (a *Agent) requestFired(now eventq.Time, seq uint32, st *pktState) {
+	if st.have {
+		return
+	}
+	a.net.Multicast(a.node, a.root, &packet.NACK{
+		Origin:    a.node,
+		Group:     seq,
+		LLC:       1,
+		Needed:    1,
+		MaxSeq:    uint32(a.maxSeq + 1),
+		Zone:      int16(a.root),
+		Ancestors: a.sess.AncestorList(),
+	})
+	a.Stats.RequestsSent++
+	st.requestedAt = now
+	// Back off and re-arm in case the repair is lost (SRM request
+	// timers double after each transmission).
+	st.reqExp++
+	a.armRequestTimer(now, seq, st)
+}
+
+// handleRequest reacts to a repair request: requesters back off, holders
+// schedule a suppressed retransmission.
+func (a *Agent) handleRequest(now eventq.Time, p *packet.NACK) {
+	seq := p.Group
+	st := a.state(seq)
+
+	// Tail-loss discovery from the request's high-water mark.
+	if hw := int64(p.MaxSeq) - 1; hw > a.maxSeq && !a.isSource {
+		for s := a.maxSeq + 1; s <= hw; s++ {
+			a.noteLoss(now, uint32(s))
+		}
+		a.maxSeq = hw
+	}
+
+	if !st.have {
+		// A peer asked for the same packet: exponential back-off and
+		// re-draw (SRM request suppression).
+		if st.reqTimer != nil && st.reqTimer.Active() {
+			st.reqTimer.Stop()
+			st.reqExp++
+			st.dupReq++
+			a.Stats.RequestsSuppressed++
+			a.armRequestTimer(now, seq, st)
+		} else {
+			a.noteLoss(now, seq)
+		}
+		return
+	}
+
+	// Holder: schedule a repair unless held down or already pending.
+	if now < st.holdTill {
+		st.dupReq++
+		return
+	}
+	if st.repTimer != nil && st.repTimer.Active() {
+		st.dupReq++
+		return
+	}
+	d := a.sess.Dist(p.Origin, p.Ancestors)
+	delay := eventq.Duration(a.rng.Uniform(a.d1*d, (a.d1+a.d2)*d))
+	st.repTimer = a.net.Sched().After(delay, func(fire eventq.Time) {
+		a.replyFired(fire, seq, st, d)
+	})
+}
+
+func (a *Agent) replyFired(now eventq.Time, seq uint32, st *pktState, d float64) {
+	if now < st.holdTill {
+		return // someone else repaired while we waited
+	}
+	a.net.Multicast(a.node, a.root, &packet.Repair{
+		Origin:  a.node,
+		Group:   seq,
+		Index:   0,
+		GroupK:  1,
+		Zone:    int16(a.root),
+		Payload: st.payload,
+	})
+	a.Stats.RepairsSent++
+	st.holdTill = now.Add(eventq.Duration(a.cfg.HoldDown * d))
+	a.adaptAfterReply(st)
+}
+
+// handleRepair stores a retransmission and suppresses pending replies.
+func (a *Agent) handleRepair(now eventq.Time, p *packet.Repair) {
+	seq := p.Group
+	st := a.state(seq)
+	if st.have {
+		a.Stats.DupRepairs++
+		st.dupRep++
+		if st.repTimer != nil && st.repTimer.Active() {
+			st.repTimer.Stop()
+			a.Stats.RepairsSuppressed++
+		}
+		st.holdTill = now.Add(eventq.Duration(a.cfg.HoldDown * a.sess.Dist(p.Origin, nil)))
+		a.adaptAfterReply(st)
+		return
+	}
+	if !a.isSource {
+		a.hold(now, seq, p.Payload)
+	}
+	st.reqExp = 0 // repair arrived: reset back-off (SRM)
+	st.holdTill = now.Add(eventq.Duration(a.cfg.HoldDown * a.sess.Dist(p.Origin, nil)))
+	a.adaptRequestTimers(st)
+}
+
+// adaptRequestTimers implements the spirit of SRM's adaptive request
+// algorithm: many duplicate requests widen the window (raise C1/C2);
+// clean rounds shrink it toward faster recovery. Constants stay within
+// documented bounds.
+func (a *Agent) adaptRequestTimers(st *pktState) {
+	if !a.cfg.Adaptive {
+		return
+	}
+	a.aveDupReq = 0.75*a.aveDupReq + 0.25*float64(st.dupReq)
+	st.dupReq = 0
+	if a.aveDupReq > 1 {
+		a.c1 += 0.1
+		a.c2 += 0.5
+	} else if a.aveDupReq < 0.5 {
+		a.c2 -= 0.1
+		a.c1 -= 0.05
+	}
+	a.c1 = clamp(a.c1, 0.5, 4)
+	a.c2 = clamp(a.c2, 1, 8)
+}
+
+// adaptAfterReply adapts the reply constants from duplicate repairs.
+func (a *Agent) adaptAfterReply(st *pktState) {
+	if !a.cfg.Adaptive {
+		return
+	}
+	a.aveDupRep = 0.75*a.aveDupRep + 0.25*float64(st.dupRep)
+	st.dupRep = 0
+	if a.aveDupRep > 1 {
+		a.d1 += 0.1
+		a.d2 += 0.5
+	} else if a.aveDupRep < 0.5 {
+		a.d2 -= 0.1
+		a.d1 -= 0.05
+	}
+	a.d1 = clamp(a.d1, 0.5, 4)
+	a.d2 = clamp(a.d2, 1, 8)
+}
+
+// Held reports how many original packets this agent holds.
+func (a *Agent) Held() int {
+	n := 0
+	for seq, st := range a.pkts {
+		if st.have && int(seq) < a.cfg.NumPackets {
+			n++
+		}
+	}
+	return n
+}
+
+// Payload returns the held payload for seq, if any.
+func (a *Agent) Payload(seq uint32) ([]byte, bool) {
+	st := a.pkts[seq]
+	if st == nil || !st.have {
+		return nil, false
+	}
+	return st.payload, true
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,191 @@
+// Package stats collects the measurements the paper's figures plot:
+// data+repair and NACK traffic per session member, bucketed into 0.1 s
+// intervals (§6.2 measurement methodology), plus per-run totals.
+package stats
+
+import (
+	"fmt"
+	"strings"
+
+	"sharqfec/internal/eventq"
+	"sharqfec/internal/netsim"
+	"sharqfec/internal/packet"
+	"sharqfec/internal/scoping"
+	"sharqfec/internal/topology"
+)
+
+// Series is a time series of per-bin values starting at time Start with
+// fixed-width bins.
+type Series struct {
+	Start    float64
+	BinWidth float64
+	bins     []float64
+}
+
+// NewSeries creates an empty series.
+func NewSeries(start, binWidth float64) *Series {
+	if binWidth <= 0 {
+		panic("stats: non-positive bin width")
+	}
+	return &Series{Start: start, BinWidth: binWidth}
+}
+
+// Add accumulates v into the bin containing time t. Times before Start
+// are ignored.
+func (s *Series) Add(t, v float64) {
+	if t < s.Start {
+		return
+	}
+	i := int((t - s.Start) / s.BinWidth)
+	for len(s.bins) <= i {
+		s.bins = append(s.bins, 0)
+	}
+	s.bins[i] += v
+}
+
+// Len returns the number of bins.
+func (s *Series) Len() int { return len(s.bins) }
+
+// Bin returns the value of bin i (0 beyond the recorded range).
+func (s *Series) Bin(i int) float64 {
+	if i < 0 || i >= len(s.bins) {
+		return 0
+	}
+	return s.bins[i]
+}
+
+// Values returns a copy of all bins.
+func (s *Series) Values() []float64 {
+	return append([]float64(nil), s.bins...)
+}
+
+// Scaled returns a copy of the series with every bin multiplied by f.
+func (s *Series) Scaled(f float64) *Series {
+	out := NewSeries(s.Start, s.BinWidth)
+	out.bins = make([]float64, len(s.bins))
+	for i, v := range s.bins {
+		out.bins[i] = v * f
+	}
+	return out
+}
+
+// Sum returns the total over all bins.
+func (s *Series) Sum() float64 {
+	t := 0.0
+	for _, v := range s.bins {
+		t += v
+	}
+	return t
+}
+
+// Max returns the largest bin value and its bin start time.
+func (s *Series) Max() (v, at float64) {
+	for i, b := range s.bins {
+		if b > v {
+			v = b
+			at = s.Start + float64(i)*s.BinWidth
+		}
+	}
+	return
+}
+
+// Table renders the series as "time value" rows, for figure output.
+func (s *Series) Table() string {
+	var b strings.Builder
+	for i, v := range s.bins {
+		fmt.Fprintf(&b, "%.1f\t%.3f\n", s.Start+float64(i)*s.BinWidth, v)
+	}
+	return b.String()
+}
+
+// Collector taps a network and aggregates the paper's measurements.
+type Collector struct {
+	source    topology.NodeID
+	receivers int
+
+	// Summed over all receivers (divide by receiver count for the
+	// "average seen by each receiver" the figures plot).
+	DataRepair *Series
+	NACKs      *Series
+	Session    *Series
+
+	// As seen at the source (Figures 20–21).
+	SourceDataRepair *Series
+	SourceNACKs      *Series
+
+	// Totals by packet type across all members.
+	Totals map[packet.Type]int
+}
+
+// NewCollector builds a collector for a session with the given source
+// and receiver count; bins are binWidth seconds wide starting at 0.
+func NewCollector(source topology.NodeID, receivers int, binWidth float64) *Collector {
+	return &Collector{
+		source:           source,
+		receivers:        receivers,
+		DataRepair:       NewSeries(0, binWidth),
+		NACKs:            NewSeries(0, binWidth),
+		Session:          NewSeries(0, binWidth),
+		SourceDataRepair: NewSeries(0, binWidth),
+		SourceNACKs:      NewSeries(0, binWidth),
+		Totals:           map[packet.Type]int{},
+	}
+}
+
+// SendTap returns a netsim.SendTap that counts the source's own
+// transmissions into the source-visible series: "traffic seen by the
+// source" (Figures 20–21) includes the original transmissions.
+func (c *Collector) SendTap() netsim.SendTap {
+	return func(now eventq.Time, from topology.NodeID, _ scoping.ZoneID, pkt packet.Packet) {
+		if from != c.source {
+			return
+		}
+		t := now.Seconds()
+		switch pkt.Kind() {
+		case packet.TypeData, packet.TypeRepair:
+			c.SourceDataRepair.Add(t, 1)
+		case packet.TypeNACK:
+			c.SourceNACKs.Add(t, 1)
+		}
+	}
+}
+
+// Tap returns the netsim.Tap that feeds this collector.
+func (c *Collector) Tap() netsim.Tap {
+	return func(now eventq.Time, at topology.NodeID, d netsim.Delivery) {
+		kind := d.Pkt.Kind()
+		c.Totals[kind]++
+		t := now.Seconds()
+		atSource := at == c.source
+		switch kind {
+		case packet.TypeData, packet.TypeRepair:
+			if atSource {
+				c.SourceDataRepair.Add(t, 1)
+			} else {
+				c.DataRepair.Add(t, 1)
+			}
+		case packet.TypeNACK:
+			if atSource {
+				c.SourceNACKs.Add(t, 1)
+			} else {
+				c.NACKs.Add(t, 1)
+			}
+		case packet.TypeSession:
+			c.Session.Add(t, 1)
+		}
+	}
+}
+
+// AvgDataRepair returns data+repair packets per receiver per bin — the
+// quantity Figures 14, 16, 17 and 18 plot.
+func (c *Collector) AvgDataRepair() *Series {
+	return c.DataRepair.Scaled(1 / float64(c.receivers))
+}
+
+// AvgNACKs returns NACKs per receiver per bin (Figures 15 and 19).
+func (c *Collector) AvgNACKs() *Series {
+	return c.NACKs.Scaled(1 / float64(c.receivers))
+}
+
+// Receivers returns the receiver count the averages divide by.
+func (c *Collector) Receivers() int { return c.receivers }

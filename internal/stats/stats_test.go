@@ -1,0 +1,179 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"sharqfec/internal/eventq"
+	"sharqfec/internal/netsim"
+	"sharqfec/internal/packet"
+	"sharqfec/internal/topology"
+)
+
+func TestSeriesBinning(t *testing.T) {
+	s := NewSeries(0, 0.1)
+	s.Add(0.05, 1)
+	s.Add(0.09, 1)
+	s.Add(0.10, 1)
+	s.Add(0.55, 2)
+	if s.Bin(0) != 2 {
+		t.Fatalf("bin 0 = %v", s.Bin(0))
+	}
+	if s.Bin(1) != 1 {
+		t.Fatalf("bin 1 = %v", s.Bin(1))
+	}
+	if s.Bin(5) != 2 {
+		t.Fatalf("bin 5 = %v", s.Bin(5))
+	}
+	if s.Len() != 6 {
+		t.Fatalf("len = %d", s.Len())
+	}
+}
+
+func TestSeriesIgnoresBeforeStart(t *testing.T) {
+	s := NewSeries(5, 1)
+	s.Add(4.9, 1)
+	if s.Len() != 0 {
+		t.Fatal("pre-start sample recorded")
+	}
+	s.Add(5.0, 1)
+	if s.Bin(0) != 1 {
+		t.Fatal("at-start sample missed")
+	}
+}
+
+func TestSeriesSumMaxScaled(t *testing.T) {
+	s := NewSeries(0, 1)
+	s.Add(0.5, 3)
+	s.Add(1.5, 7)
+	s.Add(2.5, 5)
+	if s.Sum() != 15 {
+		t.Fatalf("sum = %v", s.Sum())
+	}
+	v, at := s.Max()
+	if v != 7 || at != 1 {
+		t.Fatalf("max = %v at %v", v, at)
+	}
+	sc := s.Scaled(0.5)
+	if sc.Bin(1) != 3.5 {
+		t.Fatalf("scaled bin = %v", sc.Bin(1))
+	}
+	if s.Bin(1) != 7 {
+		t.Fatal("Scaled mutated the original")
+	}
+}
+
+func TestSeriesOutOfRangeBin(t *testing.T) {
+	s := NewSeries(0, 1)
+	if s.Bin(-1) != 0 || s.Bin(99) != 0 {
+		t.Fatal("out-of-range bins should be 0")
+	}
+}
+
+func TestSeriesValuesCopy(t *testing.T) {
+	s := NewSeries(0, 1)
+	s.Add(0, 1)
+	v := s.Values()
+	v[0] = 99
+	if s.Bin(0) != 1 {
+		t.Fatal("Values returned a live reference")
+	}
+}
+
+func TestSeriesTable(t *testing.T) {
+	s := NewSeries(0, 0.1)
+	s.Add(0, 1)
+	s.Add(0.1, 2)
+	out := s.Table()
+	if !strings.Contains(out, "0.0\t1.000") || !strings.Contains(out, "0.1\t2.000") {
+		t.Fatalf("table output: %q", out)
+	}
+}
+
+func TestNewSeriesPanicsOnBadWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero bin width accepted")
+		}
+	}()
+	NewSeries(0, 0)
+}
+
+func TestCollectorRouting(t *testing.T) {
+	c := NewCollector(0, 4, 0.1)
+	tap := c.Tap()
+	mk := func(at int, pkt packet.Packet, when float64) {
+		tap(eventq.Time(when), topology.NodeID(at), netsim.Delivery{Pkt: pkt})
+	}
+	mk(1, &packet.Data{}, 0.05)
+	mk(2, &packet.Repair{}, 0.05)
+	mk(0, &packet.Data{}, 0.05) // at source
+	mk(3, &packet.NACK{}, 0.15)
+	mk(0, &packet.NACK{}, 0.15) // at source
+	mk(1, &packet.Session{}, 0.25)
+
+	if c.DataRepair.Sum() != 2 {
+		t.Fatalf("receiver data+repair = %v", c.DataRepair.Sum())
+	}
+	if c.SourceDataRepair.Sum() != 1 {
+		t.Fatalf("source data+repair = %v", c.SourceDataRepair.Sum())
+	}
+	if c.NACKs.Sum() != 1 || c.SourceNACKs.Sum() != 1 {
+		t.Fatal("NACK routing wrong")
+	}
+	if c.Session.Sum() != 1 {
+		t.Fatal("session routing wrong")
+	}
+	if c.Totals[packet.TypeData] != 2 {
+		t.Fatalf("totals = %v", c.Totals)
+	}
+	if c.AvgDataRepair().Sum() != 0.5 {
+		t.Fatalf("avg = %v", c.AvgDataRepair().Sum())
+	}
+	if c.AvgNACKs().Sum() != 0.25 {
+		t.Fatalf("avg nacks = %v", c.AvgNACKs().Sum())
+	}
+	if c.Receivers() != 4 {
+		t.Fatal("Receivers accessor wrong")
+	}
+}
+
+// Property: for any sample set, Sum equals the sum of added values (for
+// non-negative times).
+func TestPropertySeriesSum(t *testing.T) {
+	f := func(samples []float64) bool {
+		s := NewSeries(0, 0.5)
+		want := 0.0
+		for i, v := range samples {
+			tm := float64(i%100) * 0.3
+			vv := math.Abs(v)
+			if math.IsInf(vv, 0) || math.IsNaN(vv) || vv > 1e12 {
+				continue
+			}
+			s.Add(tm, vv)
+			want += vv
+		}
+		return math.Abs(s.Sum()-want) <= 1e-6*math.Max(1, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTracerFormat(t *testing.T) {
+	var buf strings.Builder
+	tr := NewTracer(&buf)
+	tr.SendTap()(eventq.Time(6.0), 0, 0, &packet.Data{Payload: make([]byte, 983)})
+	tr.Tap()(eventq.Time(6.0311), 14, netsim.Delivery{From: 0, Scope: 0, Pkt: &packet.Data{Payload: make([]byte, 983)}})
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"+ 6.0000 n0 z0 DATA 1000", "r 6.0311 n14 from=n0 z0 DATA 1000"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("trace missing %q:\n%s", want, out)
+		}
+	}
+}

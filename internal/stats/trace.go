@@ -1,0 +1,47 @@
+package stats
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"sharqfec/internal/eventq"
+	"sharqfec/internal/netsim"
+	"sharqfec/internal/packet"
+	"sharqfec/internal/scoping"
+	"sharqfec/internal/topology"
+)
+
+// Tracer writes an ns-style packet-event trace: one line per
+// transmission ("+") and per delivery ("r"), with time, node, scope and
+// packet type/size. The format is stable for tooling:
+//
+//   - 6.0000 n0 z0 DATA 1000
+//     r 6.0311 n14 from=n0 z0 DATA 1000
+type Tracer struct {
+	w *bufio.Writer
+}
+
+// NewTracer wraps w; call Flush when the simulation completes.
+func NewTracer(w io.Writer) *Tracer {
+	return &Tracer{w: bufio.NewWriter(w)}
+}
+
+// SendTap returns the transmission-side tap.
+func (t *Tracer) SendTap() netsim.SendTap {
+	return func(now eventq.Time, from topology.NodeID, zone scoping.ZoneID, pkt packet.Packet) {
+		fmt.Fprintf(t.w, "+ %.4f n%d z%d %s %d\n",
+			now.Seconds(), from, zone, pkt.Kind(), pkt.WireSize())
+	}
+}
+
+// Tap returns the delivery-side tap.
+func (t *Tracer) Tap() netsim.Tap {
+	return func(now eventq.Time, at topology.NodeID, d netsim.Delivery) {
+		fmt.Fprintf(t.w, "r %.4f n%d from=n%d z%d %s %d\n",
+			now.Seconds(), at, d.From, d.Scope, d.Pkt.Kind(), d.Pkt.WireSize())
+	}
+}
+
+// Flush drains buffered trace lines to the underlying writer.
+func (t *Tracer) Flush() error { return t.w.Flush() }

@@ -1,0 +1,230 @@
+// Package topology models the simulated network: nodes joined by duplex
+// links with bandwidth, propagation latency and per-direction loss rates,
+// plus shortest-path routing and source-rooted multicast trees.
+//
+// It also provides builders for every network the paper uses: chains,
+// stars and balanced trees (ZCR-election tests, §6.1), the Figure-10
+// hybrid mesh-tree used for all data/repair simulations (§6.2), and the
+// 4-level national distribution hierarchy of Figures 7–8.
+package topology
+
+import (
+	"fmt"
+	"math"
+
+	"sharqfec/internal/eventq"
+)
+
+// NodeID identifies a node. IDs are dense, starting at zero.
+type NodeID int
+
+// NoNode is the sentinel for "no node" (unknown ZCR, absent peer).
+const NoNode = NodeID(-1)
+
+// Link is a duplex link between two nodes.
+type Link struct {
+	A, B NodeID
+	// Bandwidth is the transmission rate in bits per second (per
+	// direction).
+	Bandwidth float64
+	// Latency is the one-way propagation delay.
+	Latency eventq.Duration
+	// LossAB and LossBA are the packet loss probabilities in each
+	// direction, applied to loss-eligible packets only.
+	LossAB, LossBA float64
+}
+
+// edge is one direction of a link in the adjacency structure.
+type edge struct {
+	peer NodeID
+	link int // index into Graph.links
+}
+
+// Graph is an undirected multigraph of nodes and duplex links.
+type Graph struct {
+	n     int
+	links []Link
+	adj   [][]edge
+}
+
+// New creates a graph with n nodes and no links.
+func New(n int) *Graph {
+	if n < 1 {
+		panic("topology: graph needs at least one node")
+	}
+	return &Graph{n: n, adj: make([][]edge, n)}
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return g.n }
+
+// NumLinks returns the number of duplex links.
+func (g *Graph) NumLinks() int { return len(g.links) }
+
+// Link returns the i'th link.
+func (g *Graph) Link(i int) Link { return g.links[i] }
+
+// AddLink adds a duplex link with symmetric loss and returns its index.
+func (g *Graph) AddLink(a, b NodeID, bandwidth float64, latency eventq.Duration, loss float64) int {
+	return g.AddLinkAsym(a, b, bandwidth, latency, loss, loss)
+}
+
+// AddLinkAsym adds a duplex link with per-direction loss rates and returns
+// its index.
+func (g *Graph) AddLinkAsym(a, b NodeID, bandwidth float64, latency eventq.Duration, lossAB, lossBA float64) int {
+	if a < 0 || int(a) >= g.n || b < 0 || int(b) >= g.n {
+		panic(fmt.Sprintf("topology: link %d-%d out of range (n=%d)", a, b, g.n))
+	}
+	if a == b {
+		panic("topology: self-link")
+	}
+	if bandwidth <= 0 {
+		panic("topology: non-positive bandwidth")
+	}
+	if latency < 0 {
+		panic("topology: negative latency")
+	}
+	idx := len(g.links)
+	g.links = append(g.links, Link{A: a, B: b, Bandwidth: bandwidth, Latency: latency, LossAB: lossAB, LossBA: lossBA})
+	g.adj[a] = append(g.adj[a], edge{peer: b, link: idx})
+	g.adj[b] = append(g.adj[b], edge{peer: a, link: idx})
+	return idx
+}
+
+// LossFrom returns the loss probability for traffic flowing out of node
+// from over link i.
+func (g *Graph) LossFrom(i int, from NodeID) float64 {
+	l := g.links[i]
+	if from == l.A {
+		return l.LossAB
+	}
+	return l.LossBA
+}
+
+// Neighbors returns the IDs of nodes adjacent to v.
+func (g *Graph) Neighbors(v NodeID) []NodeID {
+	out := make([]NodeID, len(g.adj[v]))
+	for i, e := range g.adj[v] {
+		out[i] = e.peer
+	}
+	return out
+}
+
+// Tree is a source-rooted routing tree: the union of latency-shortest
+// paths from Root to every reachable node.
+type Tree struct {
+	Root NodeID
+	// Parent[v] is v's parent toward the root; Parent[Root] = Root.
+	// Unreachable nodes have Parent = -1.
+	Parent []NodeID
+	// ParentLink[v] is the index of the link joining v to Parent[v],
+	// or -1 for the root / unreachable nodes.
+	ParentLink []int
+	// Children[v] lists v's children in the tree.
+	Children [][]NodeID
+	// Dist[v] is the total propagation latency from the root to v
+	// (eventq.Never if unreachable).
+	Dist []eventq.Duration
+}
+
+// SPFTree computes the shortest-path (by propagation latency) tree rooted
+// at src using Dijkstra's algorithm. Ties are broken toward the
+// lower-numbered parent for determinism.
+func (g *Graph) SPFTree(src NodeID) *Tree {
+	const inf = eventq.Duration(math.MaxFloat64)
+	dist := make([]eventq.Duration, g.n)
+	parent := make([]NodeID, g.n)
+	plink := make([]int, g.n)
+	done := make([]bool, g.n)
+	for i := range dist {
+		dist[i] = inf
+		parent[i] = -1
+		plink[i] = -1
+	}
+	dist[src] = 0
+	parent[src] = src
+
+	// The graphs here are small (≤ tens of thousands of nodes), so a
+	// simple O(n²) selection loop is clear and fast enough; the national
+	// hierarchy experiment uses the analytic model instead of routing.
+	for {
+		best := NodeID(-1)
+		bd := inf
+		for v := 0; v < g.n; v++ {
+			if !done[v] && dist[v] < bd {
+				bd = dist[v]
+				best = NodeID(v)
+			}
+		}
+		if best < 0 {
+			break
+		}
+		done[best] = true
+		for _, e := range g.adj[best] {
+			nd := dist[best] + g.links[e.link].Latency
+			if nd < dist[e.peer] || (nd == dist[e.peer] && parent[e.peer] >= 0 && best < parent[e.peer] && !done[e.peer]) {
+				dist[e.peer] = nd
+				parent[e.peer] = best
+				plink[e.peer] = e.link
+			}
+		}
+	}
+
+	children := make([][]NodeID, g.n)
+	for v := 0; v < g.n; v++ {
+		if NodeID(v) != src && parent[v] >= 0 {
+			children[parent[v]] = append(children[parent[v]], NodeID(v))
+		}
+	}
+	for v := range dist {
+		if dist[v] == inf {
+			dist[v] = eventq.Duration(math.MaxFloat64)
+		}
+	}
+	return &Tree{Root: src, Parent: parent, ParentLink: plink, Children: children, Dist: dist}
+}
+
+// PathLinks returns the link indices along the tree path from the root to
+// v, in root→v order. It returns nil for the root and for unreachable
+// nodes.
+func (t *Tree) PathLinks(v NodeID) []int {
+	if v == t.Root || t.Parent[v] < 0 {
+		return nil
+	}
+	var rev []int
+	for u := v; u != t.Root; u = t.Parent[u] {
+		rev = append(rev, t.ParentLink[u])
+	}
+	out := make([]int, len(rev))
+	for i, l := range rev {
+		out[len(rev)-1-i] = l
+	}
+	return out
+}
+
+// CompoundLoss returns the probability that a loss-eligible packet sent by
+// the root fails to reach v, compounding per-link loss along the tree
+// path: 1 - Π(1 - loss_i).
+func (g *Graph) CompoundLoss(t *Tree, v NodeID) float64 {
+	if v == t.Root {
+		return 0
+	}
+	pOK := 1.0
+	u := v
+	for u != t.Root {
+		li := t.ParentLink[u]
+		if li < 0 {
+			return 1
+		}
+		pOK *= 1 - g.LossFrom(li, t.Parent[u])
+		u = t.Parent[u]
+	}
+	return 1 - pOK
+}
+
+// RTT returns the round-trip propagation latency between a and b along
+// shortest paths (2 × one-way latency; the graphs here are symmetric).
+func (g *Graph) RTT(a, b NodeID) eventq.Duration {
+	t := g.SPFTree(a)
+	return 2 * t.Dist[b]
+}

@@ -1,0 +1,76 @@
+package sharqfec
+
+import (
+	"sharqfec/internal/core"
+	"sharqfec/internal/eventq"
+	"sharqfec/internal/netsim"
+	"sharqfec/internal/scoping"
+	"sharqfec/internal/simrand"
+	"sharqfec/internal/topology"
+)
+
+// ReceiverReportResult measures the §7 extension: RTCP-style receiver
+// reports aggregated through the ZCR hierarchy. The source should learn
+// the session's worst reception quality from O(zones) summaries instead
+// of hearing every receiver.
+type ReceiverReportResult struct {
+	// SourceWorstLoss is the worst loss fraction visible to the source
+	// through the aggregated root-scope summaries.
+	SourceWorstLoss float64
+	// SourceMembers is how many receivers those summaries cover.
+	SourceMembers int
+	// TrueWorstLoss is the actual worst per-receiver raw loss fraction
+	// observed during the run (before repair).
+	TrueWorstLoss float64
+	// DirectReporters counts distinct origins whose summaries the
+	// source heard at root scope — the announcement load on the source.
+	DirectReporters int
+	Receivers       int
+}
+
+// RunReceiverReports streams the paper scenario over Figure-10 with
+// every receiver publishing its raw loss fraction, and compares the
+// source's aggregated view against ground truth.
+func RunReceiverReports(seed uint64) (*ReceiverReportResult, error) {
+	spec := topology.Figure10(topology.Figure10Params{})
+	h, err := scoping.Build(spec.Zones)
+	if err != nil {
+		return nil, err
+	}
+	var q eventq.Queue
+	src := simrand.New(seed)
+	net := netsim.New(&q, spec.Graph, h, src)
+
+	pcfg := core.DefaultConfig()
+	pcfg.NumPackets = 512
+
+	agents := make(map[topology.NodeID]*core.Agent)
+	for _, m := range spec.Members() {
+		ag, err := core.New(m, net, pcfg, src)
+		if err != nil {
+			return nil, err
+		}
+		agents[m] = ag
+	}
+	q.At(1, func(eventq.Time) {
+		for _, ag := range agents {
+			ag.Join()
+		}
+	})
+	q.At(6, func(eventq.Time) { agents[spec.Source].StartSource() })
+	q.RunUntil(30)
+
+	worst, members := agents[spec.Source].Session().AggregatedReport(h.Root())
+	res := &ReceiverReportResult{
+		SourceWorstLoss: worst,
+		SourceMembers:   int(members),
+		Receivers:       len(spec.Receivers),
+	}
+	for _, m := range spec.Receivers {
+		if f := agents[m].RawLossFraction(); f > res.TrueWorstLoss {
+			res.TrueWorstLoss = f
+		}
+	}
+	res.DirectReporters = agents[spec.Source].Session().ReportersHeard(h.Root())
+	return res, nil
+}

@@ -1,0 +1,197 @@
+package sharqfec
+
+import (
+	"fmt"
+
+	"sharqfec/internal/core"
+	"sharqfec/internal/eventq"
+	"sharqfec/internal/netsim"
+	"sharqfec/internal/packet"
+	"sharqfec/internal/scoping"
+	"sharqfec/internal/simrand"
+	"sharqfec/internal/topology"
+)
+
+// FailoverResult reports a ZCR-failure experiment (§3.2/§5.2 robustness:
+// peer recovery and re-election absorb the loss of a zone's
+// representative).
+type FailoverResult struct {
+	// FailedNode is the ZCR that was killed, and Zone its zone.
+	FailedNode, Zone int
+	// NewZCR is the survivor elected in its place (as seen unanimously
+	// by the zone's surviving members; -1 if they disagree).
+	NewZCR int
+	// SurvivorCompletion is the fraction of groups completed by every
+	// member other than the failed node.
+	SurvivorCompletion float64
+	// ZoneCompletion is the same restricted to the failed ZCR's zone.
+	ZoneCompletion float64
+}
+
+// RunZCRFailover runs the full protocol on the Figure-10 topology,
+// kills the ZCR of the first leaf zone mid-stream, and verifies the
+// session heals: survivors elect a replacement and still recover the
+// stream.
+func RunZCRFailover(seed uint64) (*FailoverResult, error) {
+	spec := topology.Figure10(topology.Figure10Params{})
+	h, err := scoping.Build(spec.Zones)
+	if err != nil {
+		return nil, err
+	}
+	var q eventq.Queue
+	src := simrand.New(seed)
+	net := netsim.New(&q, spec.Graph, h, src)
+
+	pcfg := core.DefaultConfig()
+	pcfg.NumPackets = 512
+
+	failed := topology.NodeID(8) // first tree child: leaf-zone ZCR
+	zone := h.LeafZone(failed)
+
+	agents := make(map[topology.NodeID]*core.Agent)
+	completed := make(map[topology.NodeID]int)
+	for _, m := range spec.Members() {
+		ag, err := core.New(m, net, pcfg, src)
+		if err != nil {
+			return nil, err
+		}
+		node := m
+		ag.OnComplete = func(eventq.Time, uint32, [][]byte) { completed[node]++ }
+		agents[m] = ag
+	}
+	q.At(1, func(eventq.Time) {
+		for _, ag := range agents {
+			ag.Join()
+		}
+	})
+	q.At(6, func(eventq.Time) { agents[spec.Source].StartSource() })
+	q.At(9, func(eventq.Time) { agents[failed].Stop() }) // mid-stream
+	q.RunUntil(90)
+
+	res := &FailoverResult{FailedNode: int(failed), Zone: int(zone)}
+	groups := pcfg.NumGroups()
+	survivors, zoneMembers := 0, 0
+	survDone, zoneDone := 0, 0
+	newZCR := topology.NodeID(-2)
+	for _, m := range spec.Receivers {
+		if m == failed {
+			continue
+		}
+		survivors++
+		survDone += completed[m]
+		if h.Contains(zone, m) {
+			zoneMembers++
+			zoneDone += completed[m]
+			got := agents[m].Session().ZCR(zone)
+			if newZCR == -2 {
+				newZCR = got
+			} else if got != newZCR {
+				newZCR = -1
+			}
+		}
+	}
+	res.NewZCR = int(newZCR)
+	res.SurvivorCompletion = float64(survDone) / float64(survivors*groups)
+	res.ZoneCompletion = float64(zoneDone) / float64(zoneMembers*groups)
+	return res, nil
+}
+
+// LateJoinResult reports a late-join experiment: the recovery of a
+// receiver that subscribes mid-stream (the extension §7 defers to the
+// author's thesis: the hierarchy localizes late-join repair traffic).
+type LateJoinResult struct {
+	Joiner int
+	JoinAt float64
+	// Completion is the fraction of all groups (including those sent
+	// before the join) the joiner eventually reconstructed.
+	Completion float64
+	// LocalRepairFrac is the fraction of repair packets the joiner
+	// received that were scoped to its own leaf or intermediate zone
+	// rather than globally.
+	LocalRepairFrac float64
+	// CatchUpSeconds is how long after joining the last missed group
+	// completed.
+	CatchUpSeconds float64
+}
+
+// RunLateJoin runs the full protocol on Figure-10 with one receiver
+// joining at joinAt seconds (0 → default 9.6, after the stream ends).
+func RunLateJoin(seed uint64, joinAt float64) (*LateJoinResult, error) {
+	if joinAt == 0 {
+		joinAt = 9.6
+	}
+	spec := topology.Figure10(topology.Figure10Params{})
+	h, err := scoping.Build(spec.Zones)
+	if err != nil {
+		return nil, err
+	}
+	var q eventq.Queue
+	src := simrand.New(seed)
+	net := netsim.New(&q, spec.Graph, h, src)
+
+	pcfg := core.DefaultConfig()
+	pcfg.NumPackets = 256
+
+	late := topology.NodeID(12)
+	agents := make(map[topology.NodeID]*core.Agent)
+	var lastDone eventq.Time
+	completed := 0
+	for _, m := range spec.Members() {
+		ag, err := core.New(m, net, pcfg, src)
+		if err != nil {
+			return nil, err
+		}
+		if m == late {
+			ag.OnComplete = func(now eventq.Time, _ uint32, _ [][]byte) {
+				completed++
+				lastDone = now
+			}
+		}
+		agents[m] = ag
+	}
+	localRepairs, globalRepairs := 0, 0
+	net.AddTap(func(now eventq.Time, at topology.NodeID, d netsim.Delivery) {
+		if _, ok := d.Pkt.(*packet.Repair); ok && at == late && now.Seconds() > joinAt {
+			if h.Level(d.Scope) > 0 {
+				localRepairs++
+			} else {
+				globalRepairs++
+			}
+		}
+	})
+	q.At(1, func(eventq.Time) {
+		for m, ag := range agents {
+			if m != late {
+				ag.Join()
+			}
+		}
+	})
+	q.At(6, func(eventq.Time) { agents[spec.Source].StartSource() })
+	q.At(secondsToTime(joinAt), func(eventq.Time) { agents[late].JoinLate() })
+	q.RunUntil(120)
+
+	res := &LateJoinResult{
+		Joiner:     int(late),
+		JoinAt:     joinAt,
+		Completion: float64(completed) / float64(pcfg.NumGroups()),
+	}
+	if total := localRepairs + globalRepairs; total > 0 {
+		res.LocalRepairFrac = float64(localRepairs) / float64(total)
+	}
+	if completed > 0 {
+		res.CatchUpSeconds = lastDone.Seconds() - joinAt
+	}
+	return res, nil
+}
+
+// String renders the failover result for CLI output.
+func (r *FailoverResult) String() string {
+	return fmt.Sprintf("failed ZCR %d (zone %d): new ZCR %d, survivor completion %.2f%%, zone completion %.2f%%",
+		r.FailedNode, r.Zone, r.NewZCR, 100*r.SurvivorCompletion, 100*r.ZoneCompletion)
+}
+
+// String renders the late-join result for CLI output.
+func (r *LateJoinResult) String() string {
+	return fmt.Sprintf("joiner %d at t=%.1fs: completion %.2f%%, %.0f%% of repairs zone-local, caught up in %.1fs",
+		r.Joiner, r.JoinAt, 100*r.Completion, 100*r.LocalRepairFrac, r.CatchUpSeconds)
+}

@@ -1,0 +1,114 @@
+package sharqfec
+
+import (
+	"sharqfec/internal/core"
+	"sharqfec/internal/eventq"
+	"sharqfec/internal/netsim"
+	"sharqfec/internal/scoping"
+	"sharqfec/internal/simrand"
+	"sharqfec/internal/topology"
+)
+
+// TimerSweepPoint is one point of the §7 timer-constant exploration:
+// SHARQFEC run with the request/reply constants scaled by Multiplier.
+type TimerSweepPoint struct {
+	Multiplier float64
+	C1, C2     float64
+	D1, D2     float64
+	// NACKs and Repairs count transmissions; DupShares counts shares
+	// received redundantly (the suppression-quality signal).
+	NACKs, Repairs, DupShares int
+	// MeanRecovery is the mean delay (s) from a group's last original
+	// packet to its reconstruction, averaged over late completions
+	// (groups completed after their transmission window).
+	MeanRecovery float64
+	Completion   float64
+}
+
+// RunTimerSweep runs SHARQFEC on the Figure-10 scenario once per
+// multiplier, scaling all four suppression-timer constants. The paper's
+// future-work note observes fixed constants cannot fit every topology;
+// the sweep exposes the latency/duplicate-suppression trade-off the
+// constants control.
+func RunTimerSweep(seed uint64, multipliers []float64) ([]TimerSweepPoint, error) {
+	if len(multipliers) == 0 {
+		multipliers = []float64{0.5, 1, 2, 4}
+	}
+	var out []TimerSweepPoint
+	for _, mult := range multipliers {
+		pt, err := runTimerPoint(seed, mult)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, *pt)
+	}
+	return out, nil
+}
+
+func runTimerPoint(seed uint64, mult float64) (*TimerSweepPoint, error) {
+	spec := topology.Figure10(topology.Figure10Params{})
+	h, err := scoping.Build(spec.Zones)
+	if err != nil {
+		return nil, err
+	}
+	var q eventq.Queue
+	src := simrand.New(seed)
+	net := netsim.New(&q, spec.Graph, h, src)
+
+	pcfg := core.DefaultConfig()
+	pcfg.NumPackets = 256
+	pcfg.C1 *= mult
+	pcfg.C2 *= mult
+	pcfg.D1 *= mult
+	pcfg.D2 *= mult
+
+	ipt := pcfg.InterPacket()
+	k := pcfg.GroupK
+	groupEnd := func(gid uint32) float64 {
+		return 6 + float64(int(gid+1)*k)*ipt
+	}
+
+	agents := make(map[topology.NodeID]*core.Agent)
+	completions := 0
+	var recoverySum float64
+	var recoveries int
+	for _, m := range spec.Members() {
+		ag, err := core.New(m, net, pcfg, src)
+		if err != nil {
+			return nil, err
+		}
+		if m != spec.Source {
+			ag.OnComplete = func(now eventq.Time, gid uint32, _ [][]byte) {
+				completions++
+				if delay := now.Seconds() - groupEnd(gid); delay > 0 {
+					recoverySum += delay
+					recoveries++
+				}
+			}
+		}
+		agents[m] = ag
+	}
+	q.At(1, func(eventq.Time) {
+		for _, ag := range agents {
+			ag.Join()
+		}
+	})
+	q.At(6, func(eventq.Time) { agents[spec.Source].StartSource() })
+	q.RunUntil(60)
+
+	pt := &TimerSweepPoint{
+		Multiplier: mult,
+		C1:         pcfg.C1, C2: pcfg.C2,
+		D1: pcfg.D1, D2: pcfg.D2,
+	}
+	for _, ag := range agents {
+		pt.NACKs += ag.Stats.NACKsSent
+		pt.Repairs += ag.Stats.RepairsSent + ag.Stats.RepairsInjected
+		pt.DupShares += ag.Stats.DupShares
+	}
+	if recoveries > 0 {
+		pt.MeanRecovery = recoverySum / float64(recoveries)
+	}
+	pt.Completion = float64(completions) / float64(len(spec.Receivers)*pcfg.NumGroups())
+	return pt, nil
+}
