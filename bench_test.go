@@ -392,3 +392,70 @@ func BenchmarkGroupSizeAblation(b *testing.B) {
 		})
 	}
 }
+
+// --- E14: network dynamics (scripted fault injection) ---
+
+func BenchmarkChaosZCRCrash(b *testing.B) {
+	// The §3.2/§5.2 robustness claim under the scripted fault engine:
+	// crash the first leaf-zone ZCR mid-stream, measure re-election
+	// time and survivor delivery.
+	for i := 0; i < b.N; i++ {
+		res, err := RunChaos(ChaosConfig{Seed: 31})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.CompletionRate, "completion_%")
+		b.ReportMetric(100*res.LocalRepairFrac, "localRepairs_%")
+		if len(res.Reelections) > 0 {
+			b.ReportMetric(res.Reelections[0].RecoverySeconds, "reelection_s")
+		}
+	}
+}
+
+func BenchmarkChaosBackboneFlap(b *testing.B) {
+	// A backbone link fails for 1.5 s during the CBR burst; routing
+	// heals over the lateral mesh ring and delivery still completes.
+	for i := 0; i < b.N; i++ {
+		res, err := RunChaos(ChaosConfig{
+			Seed:       11,
+			NumPackets: 512,
+			Faults:     BackboneFlapPlan(),
+			Until:      60,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.CompletionRate, "completion_%")
+		b.ReportMetric(float64(res.FaultDrops), "faultDrops")
+		b.ReportMetric(float64(res.NACKsSent), "nacks")
+	}
+}
+
+func BenchmarkChaosGilbertVsBernoulli(b *testing.B) {
+	// Burst loss at equal mean: Gilbert–Elliott processes replace every
+	// Bernoulli link draw at the same per-link mean rate. Plain-ARQ SRM
+	// NACKs more under bursts; SHARQFEC absorbs them inside FEC groups.
+	run := func(proto Protocol, plan *FaultPlan) *DataResult {
+		res, err := RunData(DataConfig{
+			Protocol:   proto,
+			Seed:       5,
+			NumPackets: 256,
+			Until:      30,
+			Faults:     plan,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res
+	}
+	for i := 0; i < b.N; i++ {
+		srmBern := run(SRM, nil)
+		srmGE := run(SRM, BurstLossPlan(8))
+		shqBern := run(SHARQFEC, nil)
+		shqGE := run(SHARQFEC, BurstLossPlan(8))
+		b.ReportMetric(float64(srmGE.NACKsSent)/float64(srmBern.NACKsSent), "srmNACKratio")
+		b.ReportMetric(float64(shqGE.NACKsSent)/float64(shqBern.NACKsSent), "sharqfecNACKratio")
+		b.ReportMetric(100*srmGE.CompletionRate, "srmComplGE_%")
+		b.ReportMetric(100*shqGE.CompletionRate, "sharqfecComplGE_%")
+	}
+}

@@ -1,0 +1,465 @@
+package sharqfec
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"sharqfec/internal/core"
+	"sharqfec/internal/eventq"
+	"sharqfec/internal/faults"
+	"sharqfec/internal/netsim"
+	"sharqfec/internal/packet"
+	"sharqfec/internal/scoping"
+	"sharqfec/internal/simrand"
+	"sharqfec/internal/topology"
+)
+
+// FaultPlan is a deterministic timeline of scripted network faults —
+// link failures, node crashes and restarts, member leaves, zone
+// partitions, and Gilbert–Elliott burst-loss takeovers — replayed
+// against a running simulation. A nil or empty plan changes nothing:
+// runs are byte-identical to fault-free runs at the same seed.
+type FaultPlan struct {
+	plan faults.Plan
+}
+
+// NewFaultPlan returns an empty plan for the chainable builders below.
+func NewFaultPlan() *FaultPlan { return &FaultPlan{} }
+
+// ParseFaultPlan reads the plan-file format (one `<seconds> <keyword>
+// <args...>` event per line; '#' comments):
+//
+//	10.5 link-down 3
+//	12.0 link-up 3
+//	9.0  crash 8
+//	20.0 restart 8
+//	9.0  leave 17
+//	10.0 partition-zone 2
+//	14.0 heal-zone 2
+//	0    gilbert-link 3 0.08 6
+//	0    gilbert-all 0.08 6
+//	0    gilbert-equal-mean 6
+func ParseFaultPlan(r io.Reader) (*FaultPlan, error) {
+	p, err := faults.ParsePlan(r)
+	if err != nil {
+		return nil, err
+	}
+	return &FaultPlan{plan: *p}, nil
+}
+
+// Empty reports whether the plan schedules no events.
+func (p *FaultPlan) Empty() bool {
+	return p == nil || p.plan.Empty()
+}
+
+// Events renders the plan's timeline in plan-file syntax.
+func (p *FaultPlan) Events() []string {
+	if p == nil {
+		return nil
+	}
+	out := make([]string, len(p.plan.Events))
+	for i, e := range p.plan.Events {
+		out[i] = e.String()
+	}
+	return out
+}
+
+// LinkDown schedules a link failure at time at (seconds).
+func (p *FaultPlan) LinkDown(at float64, link int) *FaultPlan {
+	p.plan.LinkDown(at, link)
+	return p
+}
+
+// LinkUp schedules a link recovery.
+func (p *FaultPlan) LinkUp(at float64, link int) *FaultPlan {
+	p.plan.LinkUp(at, link)
+	return p
+}
+
+// Crash schedules a member failure: its agent stops sending and
+// reacting (the §3.2/§5.2 ZCR failure model).
+func (p *FaultPlan) Crash(at float64, node int) *FaultPlan {
+	p.plan.Crash(at, topology.NodeID(node))
+	return p
+}
+
+// Restart schedules a crashed member's revival as a fresh late joiner.
+func (p *FaultPlan) Restart(at float64, node int) *FaultPlan {
+	p.plan.Restart(at, topology.NodeID(node))
+	return p
+}
+
+// Leave schedules a member's clean departure from the session.
+func (p *FaultPlan) Leave(at float64, node int) *FaultPlan {
+	p.plan.Leave(at, topology.NodeID(node))
+	return p
+}
+
+// PartitionZone schedules the isolation of a zone: every link joining
+// its members to the rest of the network goes down.
+func (p *FaultPlan) PartitionZone(at float64, zone int) *FaultPlan {
+	p.plan.PartitionZone(at, scoping.ZoneID(zone))
+	return p
+}
+
+// HealZone re-enables the links a matching PartitionZone disabled.
+func (p *FaultPlan) HealZone(at float64, zone int) *FaultPlan {
+	p.plan.HealZone(at, scoping.ZoneID(zone))
+	return p
+}
+
+// GilbertLink replaces one link's Bernoulli loss with a Gilbert–Elliott
+// burst process (both directions).
+func (p *FaultPlan) GilbertLink(at float64, link int, meanLoss, burstLen float64) *FaultPlan {
+	p.plan.GilbertLink(at, link, meanLoss, burstLen)
+	return p
+}
+
+// GilbertAll installs the burst process on every link.
+func (p *FaultPlan) GilbertAll(at float64, meanLoss, burstLen float64) *FaultPlan {
+	p.plan.GilbertAll(at, meanLoss, burstLen)
+	return p
+}
+
+// GilbertEqualMean installs per-link burst processes whose mean equals
+// each link direction's configured Bernoulli rate — bursty arrivals at
+// identical long-run loss, the comparison i.i.d. analyses assume away.
+func (p *FaultPlan) GilbertEqualMean(at float64, burstLen float64) *FaultPlan {
+	p.plan.GilbertEqualMean(at, burstLen)
+	return p
+}
+
+// Preset plans for the Figure-10 topology.
+
+// ZCRCrashPlan crashes node 8 — the first leaf-zone ZCR — at t=9 s,
+// mid-stream: the scenario of RunZCRFailover, as a scriptable plan.
+func ZCRCrashPlan() *FaultPlan {
+	return NewFaultPlan().Crash(9, 8)
+}
+
+// BackboneFlapPlan takes the source→mesh backbone link of mesh node 4
+// (the highest-loss subtree) down at t=10.5 s and restores it at
+// t=12 s, forcing that subtree onto the lateral mesh ring and back.
+func BackboneFlapPlan() *FaultPlan {
+	return NewFaultPlan().LinkDown(10.5, 3).LinkUp(12, 3)
+}
+
+// BurstLossPlan replaces every link's Bernoulli loss with Gilbert–
+// Elliott bursts of the given mean length at the same per-link mean
+// rate, from the start of the run.
+func BurstLossPlan(burstLen float64) *FaultPlan {
+	return NewFaultPlan().GilbertEqualMean(0, burstLen)
+}
+
+// ZonePartitionPlan isolates a zone between at and healAt seconds.
+func ZonePartitionPlan(zone int, at, healAt float64) *FaultPlan {
+	return NewFaultPlan().PartitionZone(at, zone).HealZone(healAt, zone)
+}
+
+// ChaosConfig parameterizes a fault-injection experiment on the full
+// protocol. The zero value (plus a plan) runs SHARQFEC on Figure-10
+// with 512 packets, join at 1 s, source on at 6 s, until 90 s.
+type ChaosConfig struct {
+	// Protocol must be a SHARQFEC variant (SRM has no ZCRs to re-elect;
+	// compare it under faults via DataConfig.Faults instead).
+	Protocol Protocol
+	Topology *Topology
+	Seed     uint64
+	// NumPackets defaults to 512 (a multiple of GroupK).
+	NumPackets int
+	GroupK     int
+	// JoinAt / SourceOnAt / Until default to 1 s / 6 s / 90 s.
+	JoinAt, SourceOnAt, Until float64
+	// Faults defaults to ZCRCrashPlan().
+	Faults *FaultPlan
+}
+
+func (c *ChaosConfig) applyDefaults() {
+	if c.Protocol == "" {
+		c.Protocol = SHARQFEC
+	}
+	if c.Topology == nil {
+		c.Topology = Figure10Topology()
+	}
+	if c.NumPackets == 0 {
+		c.NumPackets = 512
+	}
+	if c.JoinAt == 0 {
+		c.JoinAt = 1
+	}
+	if c.SourceOnAt == 0 {
+		c.SourceOnAt = 6
+	}
+	if c.Until == 0 {
+		c.Until = 90
+	}
+	if c.Faults == nil {
+		c.Faults = ZCRCrashPlan()
+	}
+}
+
+// Reelection reports the session's recovery from one scripted crash.
+type Reelection struct {
+	// Crashed is the failed node and Zone its leaf zone (-1 when the
+	// crashed node was not a zone member).
+	Crashed, Zone int
+	// NewZCR is the replacement the zone's surviving members agreed on
+	// (-1 if they never agreed on a live one).
+	NewZCR int
+	// CrashAt is when the crash fired; RecoverySeconds is how long the
+	// zone took to agree on a live replacement ZCR afterwards, sampled
+	// on the 0.1 s measurement grid (-1 if it never recovered).
+	CrashAt, RecoverySeconds float64
+}
+
+// ChaosResult reports a fault-injection run: delivery despite the
+// faults, ZCR failover timing, and repair-traffic localization.
+type ChaosResult struct {
+	Protocol  Protocol
+	Topology  string
+	Receivers int
+
+	// CompletionRate is the fraction of (receiver, group) pairs fully
+	// recovered by live members (crashed-and-not-restarted and departed
+	// members excluded).
+	CompletionRate float64
+	// Verified is true when every recovered payload matched the source.
+	Verified bool
+	// Reelections has one entry per scripted crash of a zone member.
+	Reelections []Reelection
+	// LocalRepairFrac is the fraction of repair packets delivered under
+	// a non-global scope (the localization claim under dynamics).
+	LocalRepairFrac float64
+	// FaultDrops counts packets that died on administratively-down
+	// links; FaultLog is the timeline of faults as applied.
+	FaultDrops int
+	FaultLog   []string
+
+	NACKsSent, RepairsSent int
+}
+
+// RunChaos runs the full protocol against a scripted fault plan and
+// reports recovery and localization metrics.
+func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
+	cfg.applyDefaults()
+	opts, ok := cfg.Protocol.options()
+	if !ok {
+		return nil, fmt.Errorf("sharqfec: RunChaos needs a SHARQFEC variant, got %q", cfg.Protocol)
+	}
+
+	spec := cfg.Topology.spec
+	if !opts.Scoping {
+		spec = globalized(spec)
+	}
+	if !cfg.Faults.Empty() {
+		// The plan mutates link state; never contaminate a shared spec.
+		s := *spec
+		s.Graph = spec.Graph.Clone()
+		spec = &s
+	}
+	h, err := scoping.Build(spec.Zones)
+	if err != nil {
+		return nil, err
+	}
+	var q eventq.Queue
+	src := simrand.New(cfg.Seed)
+	net := netsim.New(&q, spec.Graph, h, src)
+
+	pcfg := core.DefaultConfig()
+	pcfg.Source = spec.Source
+	pcfg.NumPackets = cfg.NumPackets
+	pcfg.Options = opts
+	if cfg.GroupK > 0 {
+		pcfg.GroupK = cfg.GroupK
+	}
+
+	type nodeGroup struct {
+		node  topology.NodeID
+		group uint32
+	}
+	completed := make(map[nodeGroup]bool)
+	verified := true
+	agents := make(map[topology.NodeID]*core.Agent, len(spec.Receivers)+1)
+	var sourceAgent *core.Agent
+	wire := func(m topology.NodeID, ag *core.Agent) {
+		ag.OnComplete = func(_ eventq.Time, gid uint32, data [][]byte) {
+			completed[nodeGroup{m, gid}] = true
+			want := sourceAgent.SentGroup(gid)
+			for i := range want {
+				if !bytes.Equal(data[i], want[i]) {
+					verified = false
+				}
+			}
+		}
+	}
+	for _, m := range spec.Members() {
+		ag, err := core.New(m, net, pcfg, src)
+		if err != nil {
+			return nil, err
+		}
+		agents[m] = ag
+		if m == spec.Source {
+			sourceAgent = ag
+			continue
+		}
+		wire(m, ag)
+	}
+
+	localRepairs, globalRepairs := 0, 0
+	net.AddTap(func(now eventq.Time, at topology.NodeID, d netsim.Delivery) {
+		if _, ok := d.Pkt.(*packet.Repair); ok {
+			if h.Level(d.Scope) > 0 {
+				localRepairs++
+			} else {
+				globalRepairs++
+			}
+		}
+	})
+
+	res := &ChaosResult{
+		Protocol:  cfg.Protocol,
+		Topology:  spec.Name,
+		Receivers: len(spec.Receivers),
+	}
+	gone := make(map[topology.NodeID]bool) // crashed or departed, not restarted
+
+	eng := faults.NewEngine(net, src, &cfg.Faults.plan)
+	eng.OnCrash = func(now eventq.Time, node topology.NodeID) {
+		ag, ok := agents[node]
+		if !ok {
+			return
+		}
+		ag.Stop()
+		gone[node] = true
+		zone := h.LeafZone(node)
+		rec := Reelection{
+			Crashed: int(node), Zone: int(zone), NewZCR: -1,
+			CrashAt: now.Seconds(), RecoverySeconds: -1,
+		}
+		res.Reelections = append(res.Reelections, rec)
+		if zone == scoping.NoZone {
+			return
+		}
+		idx := len(res.Reelections) - 1
+		// Sample on the paper's 0.1 s measurement grid until the zone's
+		// surviving members unanimously report a live replacement ZCR.
+		var poll func(eventq.Time)
+		poll = func(pnow eventq.Time) {
+			if zcr, ok := zoneAgreement(h, agents, zone, node); ok {
+				r := &res.Reelections[idx]
+				r.NewZCR = int(zcr)
+				r.RecoverySeconds = pnow.Seconds() - r.CrashAt
+				return
+			}
+			if pnow.Seconds() < cfg.Until {
+				q.After(0.1, poll)
+			}
+		}
+		q.After(0.1, poll)
+	}
+	eng.OnRestart = func(now eventq.Time, node topology.NodeID) {
+		if node == spec.Source {
+			return
+		}
+		ag, err := core.New(node, net, pcfg, src) // re-attaches over the dead agent
+		if err != nil {
+			return
+		}
+		agents[node] = ag
+		wire(node, ag)
+		delete(gone, node)
+		ag.JoinLate()
+	}
+	eng.OnLeave = func(now eventq.Time, node topology.NodeID) {
+		if ag, ok := agents[node]; ok {
+			ag.Stop()
+			gone[node] = true
+		}
+	}
+	if err := eng.Start(); err != nil {
+		return nil, err
+	}
+
+	q.At(secondsToTime(cfg.JoinAt), func(eventq.Time) {
+		for _, ag := range agents {
+			ag.Join()
+		}
+	})
+	q.At(secondsToTime(cfg.SourceOnAt), func(eventq.Time) { sourceAgent.StartSource() })
+	q.RunUntil(secondsToTime(cfg.Until))
+
+	live := 0
+	liveDone := 0
+	for _, m := range spec.Receivers {
+		if gone[m] {
+			continue
+		}
+		live++
+		for g := 0; g < pcfg.NumGroups(); g++ {
+			if completed[nodeGroup{m, uint32(g)}] {
+				liveDone++
+			}
+		}
+	}
+	if live > 0 {
+		res.CompletionRate = float64(liveDone) / float64(live*pcfg.NumGroups())
+	}
+	res.Verified = verified
+	if total := localRepairs + globalRepairs; total > 0 {
+		res.LocalRepairFrac = float64(localRepairs) / float64(total)
+	}
+	res.FaultDrops = int(net.FaultDrops())
+	for _, a := range eng.Log() {
+		res.FaultLog = append(res.FaultLog, fmt.Sprintf("%s %s", a.At, a.Desc))
+	}
+	for _, ag := range agents {
+		res.NACKsSent += ag.Stats.NACKsSent
+		res.RepairsSent += ag.Stats.RepairsSent
+	}
+	return res, nil
+}
+
+// zoneAgreement reports the live replacement ZCR the zone's surviving
+// members unanimously see, if any.
+func zoneAgreement(h *scoping.Hierarchy, agents map[topology.NodeID]*core.Agent,
+	zone scoping.ZoneID, crashed topology.NodeID) (topology.NodeID, bool) {
+
+	agreed := topology.NodeID(-2)
+	for _, m := range h.Members(zone) {
+		ag, ok := agents[m]
+		if !ok || ag.Stopped() {
+			continue
+		}
+		got := ag.Session().ZCR(zone)
+		if got == topology.NoNode || got == crashed {
+			return topology.NoNode, false
+		}
+		if other, ok := agents[got]; ok && other.Stopped() {
+			return topology.NoNode, false
+		}
+		if agreed == -2 {
+			agreed = got
+		} else if got != agreed {
+			return topology.NoNode, false
+		}
+	}
+	if agreed < 0 {
+		return topology.NoNode, false
+	}
+	return agreed, true
+}
+
+// String renders the chaos result for CLI output.
+func (r *ChaosResult) String() string {
+	s := fmt.Sprintf("%s on %s: completion %.2f%%, %.0f%% of repairs zone-local, %d fault drops",
+		r.Protocol, r.Topology, 100*r.CompletionRate, 100*r.LocalRepairFrac, r.FaultDrops)
+	for _, re := range r.Reelections {
+		if re.RecoverySeconds >= 0 {
+			s += fmt.Sprintf("; ZCR %d (zone %d) → %d in %.1fs", re.Crashed, re.Zone, re.NewZCR, re.RecoverySeconds)
+		} else {
+			s += fmt.Sprintf("; ZCR %d (zone %d) not recovered", re.Crashed, re.Zone)
+		}
+	}
+	return s
+}

@@ -13,6 +13,12 @@
 //	-seed      RNG seed                               (default 1)
 //	-until     simulated end time, seconds            (default 30)
 //	-series    also print the per-0.1 s traffic series
+//	-faults    fault-plan file replayed against the run; one
+//	           "<seconds> <keyword> <args...>" event per line
+//	           (link-down/link-up <link>, crash/restart/leave <node>,
+//	           partition-zone/heal-zone <zone>,
+//	           gilbert-link <link> <mean> <burst>,
+//	           gilbert-all <mean> <burst>, gilbert-equal-mean <burst>)
 package main
 
 import (
@@ -38,6 +44,7 @@ func main() {
 	until := flag.Float64("until", 30, "simulated end time (s)")
 	series := flag.Bool("series", false, "print per-bin traffic series")
 	tracePath := flag.String("trace", "", "write an ns-style packet trace to this file")
+	faultsPath := flag.String("faults", "", "fault-plan file to replay against the run")
 	flag.Parse()
 
 	proto, err := sharqfec.ParseProtocol(*protoFlag)
@@ -64,6 +71,18 @@ func main() {
 		defer f.Close()
 		cfg.TraceWriter = f
 	}
+	if *faultsPath != "" {
+		f, err := os.Open(*faultsPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		plan, err := sharqfec.ParseFaultPlan(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Faults = plan
+	}
 	res, err := sharqfec.RunData(cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -82,6 +101,13 @@ func main() {
 		res.SourceDataRepair.Sum(), res.SourceNACKs.Sum())
 	peak, at := res.AvgDataRepair.Max()
 	fmt.Printf("peak bin:              %.1f pkts/receiver at t=%.1fs\n", peak, at)
+	if len(res.FaultLog) > 0 {
+		fmt.Printf("fault drops:           %d\n", res.FaultDrops)
+		fmt.Println("faults applied:")
+		for _, f := range res.FaultLog {
+			fmt.Printf("  %s\n", f)
+		}
+	}
 
 	if *series {
 		fmt.Println("\n# t(s)\tdata+repair/rcvr\tNACKs/rcvr")

@@ -7,6 +7,7 @@ import (
 
 	"sharqfec/internal/core"
 	"sharqfec/internal/eventq"
+	"sharqfec/internal/faults"
 	"sharqfec/internal/netsim"
 	"sharqfec/internal/scoping"
 	"sharqfec/internal/simrand"
@@ -44,6 +45,10 @@ type DataConfig struct {
 	// overflowing packets are tail-dropped (congestion loss, the
 	// paper's stated cause of loss). 0 = unbounded.
 	QueueLimit int
+	// Faults, when non-empty, replays a scripted timeline of network
+	// faults against the run (see FaultPlan). nil or empty leaves the
+	// run byte-identical to the fault-free experiment at the same seed.
+	Faults *FaultPlan
 }
 
 func (c *DataConfig) applyDefaults() {
@@ -95,6 +100,11 @@ type DataResult struct {
 	Verified bool
 	// SessionPackets counts session-message deliveries (the §5 cost).
 	SessionPackets int
+	// FaultDrops counts packets that died on administratively-down
+	// links; FaultLog is the timeline of scripted faults as applied.
+	// Both are zero/empty without a DataConfig.Faults plan.
+	FaultDrops int
+	FaultLog   []string
 }
 
 // RunData runs one data-delivery experiment and returns its traffic
@@ -116,6 +126,7 @@ func runSHARQFEC(cfg DataConfig, opts core.Options) (*DataResult, error) {
 	if !opts.Scoping {
 		spec = globalized(spec)
 	}
+	spec = cloneForFaults(spec, cfg.Faults)
 	h, err := scoping.Build(spec.Zones)
 	if err != nil {
 		return nil, err
@@ -146,16 +157,7 @@ func runSHARQFEC(cfg DataConfig, opts core.Options) (*DataResult, error) {
 	verified := true
 	completions := 0
 	var sourceAgent *core.Agent
-	for _, m := range spec.Members() {
-		ag, err := core.New(m, net, pcfg, src)
-		if err != nil {
-			return nil, err
-		}
-		agents[m] = ag
-		if m == spec.Source {
-			sourceAgent = ag
-			continue
-		}
+	wire := func(ag *core.Agent) {
 		ag.OnComplete = func(_ eventq.Time, gid uint32, data [][]byte) {
 			completions++
 			if cfg.SkipVerify {
@@ -167,6 +169,48 @@ func runSHARQFEC(cfg DataConfig, opts core.Options) (*DataResult, error) {
 					verified = false
 				}
 			}
+		}
+	}
+	for _, m := range spec.Members() {
+		ag, err := core.New(m, net, pcfg, src)
+		if err != nil {
+			return nil, err
+		}
+		agents[m] = ag
+		if m == spec.Source {
+			sourceAgent = ag
+			continue
+		}
+		wire(ag)
+	}
+
+	var eng *faults.Engine
+	if !cfg.Faults.Empty() {
+		eng = faults.NewEngine(net, src, &cfg.Faults.plan)
+		eng.OnCrash = func(_ eventq.Time, node topology.NodeID) {
+			if ag, ok := agents[node]; ok {
+				ag.Stop()
+			}
+		}
+		eng.OnRestart = func(_ eventq.Time, node topology.NodeID) {
+			if node == spec.Source {
+				return
+			}
+			ag, err := core.New(node, net, pcfg, src) // re-attaches over the dead agent
+			if err != nil {
+				return
+			}
+			agents[node] = ag
+			wire(ag)
+			ag.JoinLate()
+		}
+		eng.OnLeave = func(_ eventq.Time, node topology.NodeID) {
+			if ag, ok := agents[node]; ok {
+				ag.Stop()
+			}
+		}
+		if err := eng.Start(); err != nil {
+			return nil, err
 		}
 	}
 
@@ -195,11 +239,12 @@ func runSHARQFEC(cfg DataConfig, opts core.Options) (*DataResult, error) {
 	}
 	expect := len(spec.Receivers) * pcfg.NumGroups()
 	res.CompletionRate = float64(completions) / float64(expect)
+	fillFaults(res, net, eng)
 	return res, nil
 }
 
 func runSRM(cfg DataConfig) (*DataResult, error) {
-	spec := globalized(cfg.Topology.spec)
+	spec := cloneForFaults(globalized(cfg.Topology.spec), cfg.Faults)
 	h, err := scoping.Build(spec.Zones)
 	if err != nil {
 		return nil, err
@@ -230,6 +275,36 @@ func runSRM(cfg DataConfig) (*DataResult, error) {
 		}
 		agents[m] = ag
 	}
+
+	var eng *faults.Engine
+	if !cfg.Faults.Empty() {
+		eng = faults.NewEngine(net, src, &cfg.Faults.plan)
+		eng.OnCrash = func(_ eventq.Time, node topology.NodeID) {
+			if ag, ok := agents[node]; ok {
+				ag.Stop()
+			}
+		}
+		eng.OnRestart = func(_ eventq.Time, node topology.NodeID) {
+			if node == spec.Source {
+				return
+			}
+			ag, err := srm.New(node, net, pcfg, src) // re-attaches over the dead agent
+			if err != nil {
+				return
+			}
+			agents[node] = ag
+			ag.Join()
+		}
+		eng.OnLeave = func(_ eventq.Time, node topology.NodeID) {
+			if ag, ok := agents[node]; ok {
+				ag.Stop()
+			}
+		}
+		if err := eng.Start(); err != nil {
+			return nil, err
+		}
+	}
+
 	q.At(secondsToTime(cfg.JoinAt), func(eventq.Time) {
 		for _, ag := range agents {
 			ag.Join()
@@ -267,7 +342,29 @@ func runSRM(cfg DataConfig) (*DataResult, error) {
 	res.RepairsSent += srcAgent.Stats.RepairsSent
 	res.CompletionRate = float64(held) / float64(len(spec.Receivers)*cfg.NumPackets)
 	res.Verified = verified && !cfg.SkipVerify
+	fillFaults(res, net, eng)
 	return res, nil
+}
+
+// cloneForFaults deep-copies a spec's graph when a plan will mutate
+// link state, so shared topology specs stay pristine across runs.
+func cloneForFaults(spec *topology.Spec, plan *FaultPlan) *topology.Spec {
+	if plan.Empty() {
+		return spec
+	}
+	s := *spec
+	s.Graph = spec.Graph.Clone()
+	return &s
+}
+
+func fillFaults(res *DataResult, net *netsim.Network, eng *faults.Engine) {
+	res.FaultDrops = int(net.FaultDrops())
+	if eng == nil {
+		return
+	}
+	for _, a := range eng.Log() {
+		res.FaultLog = append(res.FaultLog, fmt.Sprintf("%s %s", a.At, a.Desc))
+	}
 }
 
 func fillSeries(res *DataResult, col *stats.Collector) {

@@ -71,6 +71,11 @@ func (t *Timer) Stop() bool {
 	}
 	t.ev.stopped = true
 	heap.Remove(&t.q.h, t.ev.index)
+	// Release the handler closure: protocol agents hold Timer handles
+	// long after cancellation, and under heavy cancel/reschedule churn
+	// (the fault engine's pattern) retained closures are the only thing
+	// keeping dead per-packet state alive.
+	t.ev.fn = nil
 	return true
 }
 
@@ -132,7 +137,9 @@ func (q *Queue) Step() bool {
 		}
 		q.now = ev.at
 		q.dispatchN++
-		ev.fn(q.now)
+		fn := ev.fn
+		ev.fn = nil // outstanding Timer handles must not pin the closure
+		fn(q.now)
 		return true
 	}
 	return false

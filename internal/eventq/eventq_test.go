@@ -287,3 +287,89 @@ func TestTimeHelpers(t *testing.T) {
 		t.Fatalf("Std: got %v", Duration(0.25).Std())
 	}
 }
+
+// TestCancelRescheduleChurn hammers the queue with the fault engine's
+// pattern — schedule, cancel, reschedule in bulk — and checks no heap
+// entries or handler closures leak.
+func TestCancelRescheduleChurn(t *testing.T) {
+	var q Queue
+	rng := rand.New(rand.NewPCG(1, 2))
+	fired := 0
+	live := map[*Timer]bool{}
+	for round := 0; round < 200; round++ {
+		for i := 0; i < 50; i++ {
+			tm := q.After(Duration(rng.Float64()), func(Time) { fired++ })
+			live[tm] = true
+		}
+		// Cancel a random half; rescheduling replaces, never reuses.
+		for tm := range live {
+			if rng.IntN(2) == 0 {
+				tm.Stop()
+				delete(live, tm)
+			}
+		}
+	}
+	pending := q.Len()
+	if pending != len(live) {
+		t.Fatalf("queue holds %d entries, want %d live (stopped timers must leave the heap)", pending, len(live))
+	}
+	q.Run()
+	if fired != len(live) {
+		t.Fatalf("fired %d handlers, want %d (every live timer exactly once)", fired, len(live))
+	}
+	for tm := range live {
+		if tm.Active() {
+			t.Fatal("timer still active after Run")
+		}
+		if tm.Stop() {
+			t.Fatal("Stop returned true after the timer already fired")
+		}
+	}
+}
+
+// TestCancelThenFireRace covers the order-sensitive cases around a
+// timer's firing instant: stopping a timer from an earlier same-time
+// event must prevent the handler, and stopping it from inside its own
+// handler must be a no-op.
+func TestCancelThenFireRace(t *testing.T) {
+	var q Queue
+	firedB := false
+	// A and B share t=1; A is scheduled first so FIFO dispatches it
+	// first, and A cancels B before the queue reaches it.
+	var b *Timer
+	q.At(1, func(Time) { b.Stop() })
+	b = q.At(1, func(Time) { firedB = true })
+	var self *Timer
+	selfStop := true
+	self = q.At(2, func(Time) { selfStop = self.Stop() })
+	q.Run()
+	if firedB {
+		t.Fatal("handler ran after a same-instant earlier event stopped it")
+	}
+	if selfStop {
+		t.Fatal("Stop from inside the firing handler reported true")
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue not drained: %d left", q.Len())
+	}
+}
+
+// TestStopReleasesClosure verifies a stopped timer no longer pins its
+// handler closure (the eventq leak-audit contract): the closure's
+// captured state must be collectable while the Timer handle lives on.
+func TestStopReleasesClosure(t *testing.T) {
+	var q Queue
+	big := make([]byte, 1<<20)
+	tm := q.After(1, func(Time) { _ = big[0] })
+	tm.Stop()
+	// The event struct is still referenced by the handle; its fn must
+	// be gone so `big` is unreachable through the queue or the handle.
+	if tm.ev.fn != nil {
+		t.Fatal("stopped timer still holds its handler closure")
+	}
+	fired := q.At(0.5, func(Time) {})
+	q.Run()
+	if fired.ev.fn != nil {
+		t.Fatal("fired event still holds its handler closure")
+	}
+}

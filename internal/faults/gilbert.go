@@ -1,0 +1,69 @@
+package faults
+
+import (
+	"fmt"
+
+	"sharqfec/internal/simrand"
+)
+
+// GilbertElliott is a two-state Markov burst-loss process implementing
+// netsim.LossModel. The chain advances one step per loss-eligible packet
+// crossing the link direction: in the Good state packets drop with
+// probability LossGood, in the Bad state with LossBad, and the state
+// transitions afterwards with probabilities PGoodBad / PBadGood. With
+// LossGood = 0 and LossBad = 1 this is the classic Gilbert model: loss
+// arrives in bursts of mean length 1/PBadGood, with stationary mean loss
+// PGoodBad/(PGoodBad+PBadGood) — directly comparable to a Bernoulli link
+// at the same mean, which is exactly what i.i.d.-loss analyses of hybrid
+// ARQ/FEC assume away.
+type GilbertElliott struct {
+	rng                *simrand.Rand
+	pGoodBad, pBadGood float64
+	lossGood, lossBad  float64
+	bad                bool
+}
+
+// NewGilbertElliott builds the general two-state model. The caller owns
+// the stream; use a dedicated "faults/..." stream so installing the
+// model never perturbs other draws.
+func NewGilbertElliott(rng *simrand.Rand, pGoodBad, pBadGood, lossGood, lossBad float64) *GilbertElliott {
+	return &GilbertElliott{
+		rng:      rng,
+		pGoodBad: pGoodBad, pBadGood: pBadGood,
+		lossGood: lossGood, lossBad: lossBad,
+	}
+}
+
+// NewBurst builds the classic Gilbert model (LossGood 0, LossBad 1)
+// calibrated to a stationary mean loss rate and a mean burst length in
+// packets: PBadGood = 1/burstLen and PGoodBad solves the stationary
+// equation meanLoss = PGoodBad/(PGoodBad+PBadGood).
+func NewBurst(rng *simrand.Rand, meanLoss, burstLen float64) (*GilbertElliott, error) {
+	if meanLoss < 0 || meanLoss >= 1 {
+		return nil, fmt.Errorf("faults: mean loss %g outside [0,1)", meanLoss)
+	}
+	if burstLen < 1 {
+		return nil, fmt.Errorf("faults: burst length %g < 1", burstLen)
+	}
+	pBG := 1 / burstLen
+	pGB := meanLoss * pBG / (1 - meanLoss)
+	return NewGilbertElliott(rng, pGB, pBG, 0, 1), nil
+}
+
+// Drop implements netsim.LossModel: emit from the current state, then
+// advance the chain.
+func (g *GilbertElliott) Drop() bool {
+	p := g.lossGood
+	if g.bad {
+		p = g.lossBad
+	}
+	drop := g.rng.Bernoulli(p)
+	if g.bad {
+		if g.rng.Bernoulli(g.pBadGood) {
+			g.bad = false
+		}
+	} else if g.rng.Bernoulli(g.pGoodBad) {
+		g.bad = true
+	}
+	return drop
+}

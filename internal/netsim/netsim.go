@@ -13,6 +13,7 @@
 package netsim
 
 import (
+	"errors"
 	"fmt"
 
 	"sharqfec/internal/eventq"
@@ -40,6 +41,23 @@ type Tap func(now eventq.Time, at topology.NodeID, d Delivery)
 // the source, Figures 20–21).
 type SendTap func(now eventq.Time, from topology.NodeID, zone scoping.ZoneID, pkt packet.Packet)
 
+// ErrUnknownNode is wrapped by MulticastE when the sender is not a node
+// of the simulated graph.
+var ErrUnknownNode = errors.New("unknown node")
+
+// ErrUnknownZone is wrapped by MulticastE when the destination zone does
+// not exist in the scoping hierarchy.
+var ErrUnknownZone = errors.New("unknown zone")
+
+// LossModel replaces the default per-link Bernoulli draw for one link
+// direction. Drop is consulted once per loss-eligible packet crossing
+// the direction and reports whether the packet is lost. Implementations
+// own their randomness (typically a dedicated simrand stream), so
+// installing a model never perturbs the draws of unaffected links.
+type LossModel interface {
+	Drop() bool
+}
+
 // Network simulates scoped multicast over a graph.
 type Network struct {
 	Q *eventq.Queue
@@ -50,6 +68,11 @@ type Network struct {
 	lossRNG  *simrand.Rand
 	taps     []Tap
 	sendTaps []SendTap
+
+	// lossModels[link][dir], when non-nil, overrides the Bernoulli draw
+	// for that link direction. nil until the first SetLossModel, so the
+	// paper's static runs take the unchanged default path.
+	lossModels [][2]LossModel
 
 	trees     map[topology.NodeID]*topology.Tree
 	memberSet map[scoping.ZoneID][]bool
@@ -66,10 +89,11 @@ type Network struct {
 	QueueLimit int
 
 	// Counters for coarse validation and benchmarks.
-	sent      uint64
-	delivered uint64
-	dropped   uint64
-	taildrops uint64
+	sent       uint64
+	delivered  uint64
+	dropped    uint64
+	taildrops  uint64
+	faultdrops uint64
 }
 
 type prunedKey struct {
@@ -134,6 +158,61 @@ func (n *Network) Stats() (sent, delivered, dropped uint64) {
 // overflow (only possible with QueueLimit > 0).
 func (n *Network) TailDrops() uint64 { return n.taildrops }
 
+// FaultDrops returns the number of packets discarded because their next
+// link was administratively down (only possible after SetLinkUp).
+func (n *Network) FaultDrops() uint64 { return n.faultdrops }
+
+// InvalidateRoutes discards every cached routing tree and pruned
+// delivery set. Call after any change that affects shortest paths.
+func (n *Network) InvalidateRoutes() {
+	n.trees = make(map[topology.NodeID]*topology.Tree)
+	n.pruned = make(map[prunedKey][][]topology.NodeID)
+}
+
+// invalidateMembership discards the cached zone member bitmaps and
+// pruned delivery sets (routing trees stay valid).
+func (n *Network) invalidateMembership() {
+	n.memberSet = make(map[scoping.ZoneID][]bool)
+	n.pruned = make(map[prunedKey][][]topology.NodeID)
+}
+
+// SetLinkUp enables or disables a link mid-simulation, recomputing the
+// routing state that depended on it. Packets already in flight past the
+// link still arrive (they were on the wire); packets reaching a downed
+// link are discarded and counted by FaultDrops.
+func (n *Network) SetLinkUp(link int, up bool) {
+	if n.G.LinkUp(link) == up {
+		return
+	}
+	n.G.SetLinkUp(link, up)
+	n.InvalidateRoutes()
+}
+
+// SetHierarchy swaps the scoping hierarchy mid-simulation (membership
+// change: a member left or rejoined), invalidating the delivery-set
+// caches derived from it. The new hierarchy must use the same ZoneID
+// numbering as the old one (scoping.WithoutMember guarantees this).
+func (n *Network) SetHierarchy(h *scoping.Hierarchy) {
+	n.H = h
+	n.invalidateMembership()
+}
+
+// SetLossModel installs (or, with nil, removes) a loss-model override
+// for one direction of a link (dir 0 = A→B, 1 = B→A). Links without a
+// model keep the default Bernoulli draw from the graph's loss rates.
+func (n *Network) SetLossModel(link, dir int, m LossModel) {
+	if link < 0 || link >= n.G.NumLinks() || dir < 0 || dir > 1 {
+		panic(fmt.Sprintf("netsim: SetLossModel(%d, %d) out of range", link, dir))
+	}
+	if n.lossModels == nil {
+		if m == nil {
+			return
+		}
+		n.lossModels = make([][2]LossModel, n.G.NumLinks())
+	}
+	n.lossModels[link][dir] = m
+}
+
 // Tree returns (building if necessary) the shortest-path tree rooted at
 // src that all multicasts from src follow.
 func (n *Network) Tree(src topology.NodeID) *topology.Tree {
@@ -188,10 +267,24 @@ func (n *Network) prunedChildren(src topology.NodeID, zone scoping.ZoneID) [][]t
 
 // Multicast sends pkt from node `from` to every member of `zone` (other
 // than the sender). Delivery is scheduled through the event queue; the
-// call returns immediately.
+// call returns immediately. Invalid senders or zones are dropped
+// silently (the fabric seam has no error channel); callers that want the
+// cause should use MulticastE.
 func (n *Network) Multicast(from topology.NodeID, zone scoping.ZoneID, pkt packet.Packet) {
-	if int(from) >= n.G.NumNodes() {
-		panic(fmt.Sprintf("netsim: multicast from unknown node %d", from))
+	_ = n.MulticastE(from, zone, pkt)
+}
+
+// MulticastE is Multicast with validation: it reports a wrapped
+// ErrUnknownNode / ErrUnknownZone instead of panicking on input that a
+// public-API caller (custom topologies, scripted fault plans) can get
+// wrong. A valid multicast to a zone with no other members is not an
+// error; the packet simply reaches nobody.
+func (n *Network) MulticastE(from topology.NodeID, zone scoping.ZoneID, pkt packet.Packet) error {
+	if from < 0 || int(from) >= n.G.NumNodes() {
+		return fmt.Errorf("netsim: multicast from node %d: %w", from, ErrUnknownNode)
+	}
+	if zone < 0 || int(zone) >= n.H.NumZones() {
+		return fmt.Errorf("netsim: multicast to zone %d: %w", zone, ErrUnknownZone)
 	}
 	n.sent++
 	now := n.Q.Now()
@@ -204,6 +297,7 @@ func (n *Network) Multicast(from topology.NodeID, zone scoping.ZoneID, pkt packe
 	for _, c := range children[from] {
 		n.forward(now, tree, children, isMember, from, c, zone, pkt)
 	}
+	return nil
 }
 
 // members returns (caching) the zone's membership as a dense bitmap.
@@ -226,6 +320,12 @@ func (n *Network) forward(t eventq.Time, tree *topology.Tree, children [][]topol
 	isMember []bool, u, v topology.NodeID, zone scoping.ZoneID, pkt packet.Packet) {
 
 	li := tree.ParentLink[v]
+	if !n.G.LinkUp(li) {
+		// The routing tree predates a link failure (multicasts in
+		// flight keep their tree): the packet dies at the broken link.
+		n.faultdrops++
+		return
+	}
 	link := n.G.Link(li)
 	dir := 0
 	if u == link.B {
@@ -249,9 +349,16 @@ func (n *Network) forward(t eventq.Time, tree *topology.Tree, children [][]topol
 	n.linkFree[li][dir] = txDone
 	arrive := txDone.Add(link.Latency)
 
-	if pkt.Lossy() && n.lossRNG.Bernoulli(n.G.LossFrom(li, u)) {
-		n.dropped++
-		return // whole subtree below v misses the packet
+	if pkt.Lossy() {
+		if m := n.lossModel(li, dir); m != nil {
+			if m.Drop() {
+				n.dropped++
+				return // whole subtree below v misses the packet
+			}
+		} else if n.lossRNG.Bernoulli(n.G.LossFrom(li, u)) {
+			n.dropped++
+			return // whole subtree below v misses the packet
+		}
 	}
 
 	n.Q.At(arrive, func(now eventq.Time) {
@@ -262,6 +369,14 @@ func (n *Network) forward(t eventq.Time, tree *topology.Tree, children [][]topol
 			n.forward(now, tree, children, isMember, v, c, zone, pkt)
 		}
 	})
+}
+
+// lossModel returns the override for a link direction, or nil.
+func (n *Network) lossModel(link, dir int) LossModel {
+	if n.lossModels == nil {
+		return nil
+	}
+	return n.lossModels[link][dir]
 }
 
 func (n *Network) deliver(now eventq.Time, at topology.NodeID, d Delivery) {

@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -372,15 +373,58 @@ func TestSendTapObservesTransmissions(t *testing.T) {
 	}
 }
 
-func TestMulticastFromUnknownNodePanics(t *testing.T) {
+func TestMulticastValidation(t *testing.T) {
 	spec := topology.Chain(2, 1e6, 0.01, 0)
-	n, _ := build(t, spec, 1)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
+	n, recs := build(t, spec, 1)
+	if err := n.MulticastE(99, 0, &packet.NACK{}); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("unknown node: got %v, want ErrUnknownNode", err)
+	}
+	if err := n.MulticastE(-1, 0, &packet.NACK{}); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("negative node: got %v, want ErrUnknownNode", err)
+	}
+	if err := n.MulticastE(0, 42, &packet.NACK{}); !errors.Is(err, ErrUnknownZone) {
+		t.Fatalf("unknown zone: got %v, want ErrUnknownZone", err)
+	}
+	// The non-error fabric entry point drops invalid sends silently
+	// instead of panicking.
 	n.Multicast(99, 0, &packet.NACK{})
+	n.Multicast(0, 42, &packet.NACK{})
+	n.Q.Run()
+	for node, r := range recs {
+		if len(r.got) != 0 {
+			t.Fatalf("node %d received %d packets from invalid sends", node, len(r.got))
+		}
+	}
+	if sent, _, _ := n.Stats(); sent != 0 {
+		t.Fatalf("invalid sends counted: sent = %d", sent)
+	}
+}
+
+// TestMulticastEmptyPrunedSet is the regression test for multicasting
+// from a member whose destination zone has no other members: the pruned
+// delivery set is empty and the send must be a silent no-op.
+func TestMulticastEmptyPrunedSet(t *testing.T) {
+	spec := topology.Chain(3, 1e6, 0.01, 0)
+	// Zone 1 holds only node 2; multicasts from 2 scoped to zone 1
+	// therefore have nobody to reach.
+	spec.Zones = []topology.ZoneSpec{
+		{ID: 0, Parent: -1, Leaves: []topology.NodeID{0, 1}},
+		{ID: 1, Parent: 0, Leaves: []topology.NodeID{2}},
+	}
+	n, recs := build(t, spec, 1)
+	if err := n.MulticastE(2, 1, &packet.NACK{Origin: 2}); err != nil {
+		t.Fatalf("empty-zone multicast errored: %v", err)
+	}
+	n.Q.Run()
+	for node, r := range recs {
+		if len(r.got) != 0 {
+			t.Fatalf("node %d received a packet from an empty-zone multicast", node)
+		}
+	}
+	sent, delivered, _ := n.Stats()
+	if sent != 1 || delivered != 0 {
+		t.Fatalf("stats = (%d sent, %d delivered), want (1, 0)", sent, delivered)
+	}
 }
 
 func TestTreeCaching(t *testing.T) {
@@ -405,5 +449,65 @@ func TestAgentAt(t *testing.T) {
 	n.Attach(1, nil)
 	if n.AgentAt(1) != nil {
 		t.Fatal("detach failed")
+	}
+}
+
+// TestSetHierarchyMembershipChange removes a member mid-session via
+// scoping.WithoutMember + SetHierarchy and checks the pruned delivery
+// sets shrink: the departed node stops receiving, subtree forwarding
+// through it stops when nobody below needs the packet, and remaining
+// members are unaffected.
+func TestSetHierarchyMembershipChange(t *testing.T) {
+	spec := topology.Chain(4, 1e6, 0.010, 0)
+	n, recs := build(t, spec, 1)
+	pkt := &packet.NACK{Origin: 0, Group: 1}
+
+	n.Multicast(0, 0, pkt)
+	n.Q.Run()
+	for _, v := range []topology.NodeID{1, 2, 3} {
+		if len(recs[v].got) != 1 {
+			t.Fatalf("node %d got %d packets before the change, want 1", v, len(recs[v].got))
+		}
+	}
+
+	// Node 3 (the chain's tail) leaves the session.
+	h2, err := n.H.WithoutMember(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.SetHierarchy(h2)
+	sentBefore, deliveredBefore, _ := n.Stats()
+
+	n.Multicast(0, 0, pkt)
+	n.Q.Run()
+	if len(recs[3].got) != 1 {
+		t.Errorf("departed node 3 got %d packets, want 1 (nothing after leaving)", len(recs[3].got))
+	}
+	for _, v := range []topology.NodeID{1, 2} {
+		if len(recs[v].got) != 2 {
+			t.Errorf("node %d got %d packets, want 2 (unaffected by the leave)", v, len(recs[v].got))
+		}
+	}
+	sent, delivered, _ := n.Stats()
+	if sent != sentBefore+1 || delivered != deliveredBefore+2 {
+		t.Errorf("stats after leave: sent %d delivered %d, want %d/%d",
+			sent, delivered, sentBefore+1, deliveredBefore+2)
+	}
+
+	// An interior member leaving must not cut off the members behind it:
+	// node 2 leaves, node 1 (and the departed 3) aside, the packet still
+	// transits node 2's attachment point.
+	h3, err := n.H.WithoutMember(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.SetHierarchy(h3)
+	n.Multicast(0, 0, pkt)
+	n.Q.Run()
+	if len(recs[2].got) != 2 {
+		t.Errorf("departed node 2 got %d packets, want 2", len(recs[2].got))
+	}
+	if len(recs[1].got) != 3 {
+		t.Errorf("node 1 got %d packets, want 3", len(recs[1].got))
 	}
 }

@@ -132,6 +132,46 @@ func MustBuild(specs []topology.ZoneSpec) *Hierarchy {
 	return h
 }
 
+// Specs reconstructs the builder zone specs this hierarchy was built
+// from, in zone-ID order, so a modified copy can be rebuilt with
+// identical ZoneID numbering.
+func (h *Hierarchy) Specs() []topology.ZoneSpec {
+	specs := make([]topology.ZoneSpec, len(h.zones))
+	for i := range h.zones {
+		parent := -1
+		if h.zones[i].parent != NoZone {
+			parent = int(h.zones[i].parent)
+		}
+		specs[i] = topology.ZoneSpec{
+			ID:     i,
+			Parent: parent,
+			Leaves: append([]topology.NodeID(nil), h.zones[i].leaves...),
+		}
+	}
+	return specs
+}
+
+// WithoutMember returns a new hierarchy with node n removed from the
+// session (its leaf zone keeps its place in the tree, so ZoneIDs are
+// unchanged). It is the membership-change seam the fault engine uses for
+// mid-session leaves; pair it with netsim.Network.SetHierarchy so cached
+// delivery sets are invalidated.
+func (h *Hierarchy) WithoutMember(n topology.NodeID) (*Hierarchy, error) {
+	z, ok := h.leafZone[n]
+	if !ok {
+		return nil, fmt.Errorf("scoping: node %d is not a session member", n)
+	}
+	specs := h.Specs()
+	leaves := specs[z].Leaves[:0]
+	for _, l := range specs[z].Leaves {
+		if l != n {
+			leaves = append(leaves, l)
+		}
+	}
+	specs[z].Leaves = leaves
+	return Build(specs)
+}
+
 // Root returns the global zone.
 func (h *Hierarchy) Root() ZoneID { return h.root }
 

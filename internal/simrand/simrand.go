@@ -46,6 +46,24 @@ func (s *Source) StreamN(name string, n int) *Rand {
 	return &Rand{r: rand.New(rand.NewPCG(s.seed, h.Sum64()))}
 }
 
+// StreamN2 derives an independent generator identified by a name and two
+// integers (typically a link index and a direction). Like Stream, the
+// same (seed, name, a, b) tuple always yields the same stream, and
+// deriving one never perturbs any other stream — the property the fault
+// engine relies on so unscripted runs stay byte-identical.
+func (s *Source) StreamN2(name string, a, b int) *Rand {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(name))
+	var buf [16]byte
+	va, vb := uint64(a), uint64(b)
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(va >> (8 * i))
+		buf[8+i] = byte(vb >> (8 * i))
+	}
+	_, _ = h.Write(buf[:])
+	return &Rand{r: rand.New(rand.NewPCG(s.seed, h.Sum64()))}
+}
+
 // Rand is a deterministic generator with the helpers the protocols need.
 type Rand struct {
 	r *rand.Rand

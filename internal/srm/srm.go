@@ -117,6 +117,8 @@ type Agent struct {
 	// held (received or repaired).
 	OnDeliver func(now eventq.Time, seq uint32, payload []byte)
 
+	stopped bool
+
 	Stats Stats
 }
 
@@ -152,6 +154,17 @@ func (a *Agent) Node() topology.NodeID { return a.node }
 // Join starts session management (the source heads the global zone).
 func (a *Agent) Join() { a.sess.Start(a.isSource) }
 
+// Stop fails the member (the crash model the fault engine uses): it
+// stops sending and reacting entirely, while the network keeps
+// forwarding through its attachment point — mirroring core.Agent.Stop.
+func (a *Agent) Stop() {
+	a.stopped = true
+	a.sess.Stop()
+}
+
+// Stopped reports whether Stop was called.
+func (a *Agent) Stopped() bool { return a.stopped }
+
 // StartSource schedules the CBR stream from the current simulated time.
 func (a *Agent) StartSource() {
 	if !a.isSource {
@@ -167,6 +180,9 @@ func (a *Agent) StartSource() {
 }
 
 func (a *Agent) sourceSend(now eventq.Time, seq uint32) {
+	if a.stopped {
+		return
+	}
 	payload := make([]byte, a.cfg.PayloadSize)
 	for j := range payload {
 		payload[j] = byte(a.rng.IntN(256))
@@ -197,6 +213,9 @@ func (a *Agent) state(seq uint32) *pktState {
 
 // Receive implements fabric.Agent.
 func (a *Agent) Receive(now eventq.Time, d fabric.Delivery) {
+	if a.stopped {
+		return
+	}
 	if sp, ok := d.Pkt.(*packet.Session); ok {
 		if hw := int64(sp.MaxSeq) - 1; !a.isSource && hw > a.maxSeq {
 			for s := a.maxSeq + 1; s <= hw; s++ {
@@ -280,7 +299,7 @@ func (a *Agent) armRequestTimer(now eventq.Time, seq uint32, st *pktState) {
 }
 
 func (a *Agent) requestFired(now eventq.Time, seq uint32, st *pktState) {
-	if st.have {
+	if st.have || a.stopped {
 		return
 	}
 	a.net.Multicast(a.node, a.root, &packet.NACK{
@@ -346,6 +365,9 @@ func (a *Agent) handleRequest(now eventq.Time, p *packet.NACK) {
 }
 
 func (a *Agent) replyFired(now eventq.Time, seq uint32, st *pktState, d float64) {
+	if a.stopped {
+		return
+	}
 	if now < st.holdTill {
 		return // someone else repaired while we waited
 	}

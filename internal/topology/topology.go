@@ -45,6 +45,10 @@ type Graph struct {
 	n     int
 	links []Link
 	adj   [][]edge
+	// down marks administratively disabled links (fault injection).
+	// nil until the first SetLinkUp(false), so static simulations pay
+	// nothing for the feature.
+	down []bool
 }
 
 // New creates a graph with n nodes and no links.
@@ -89,6 +93,38 @@ func (g *Graph) AddLinkAsym(a, b NodeID, bandwidth float64, latency eventq.Durat
 	g.adj[a] = append(g.adj[a], edge{peer: b, link: idx})
 	g.adj[b] = append(g.adj[b], edge{peer: a, link: idx})
 	return idx
+}
+
+// SetLinkUp enables or disables link i. Disabled links are skipped by
+// SPFTree, so routing recomputes around them; callers that cache trees
+// must invalidate after a change (netsim.Network.SetLinkUp does).
+func (g *Graph) SetLinkUp(i int, up bool) {
+	if i < 0 || i >= len(g.links) {
+		panic(fmt.Sprintf("topology: SetLinkUp on unknown link %d", i))
+	}
+	if g.down == nil {
+		if up {
+			return
+		}
+		g.down = make([]bool, len(g.links))
+	}
+	g.down[i] = !up
+}
+
+// LinkUp reports whether link i is enabled (all links start enabled).
+func (g *Graph) LinkUp(i int) bool { return g.down == nil || !g.down[i] }
+
+// Clone returns a deep copy of the graph, so fault-injection runs can
+// mutate link state without contaminating a shared topology spec.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{n: g.n, links: append([]Link(nil), g.links...), adj: make([][]edge, g.n)}
+	for v := range g.adj {
+		c.adj[v] = append([]edge(nil), g.adj[v]...)
+	}
+	if g.down != nil {
+		c.down = append([]bool(nil), g.down...)
+	}
+	return c
 }
 
 // LossFrom returns the loss probability for traffic flowing out of node
@@ -161,6 +197,9 @@ func (g *Graph) SPFTree(src NodeID) *Tree {
 		}
 		done[best] = true
 		for _, e := range g.adj[best] {
+			if g.down != nil && g.down[e.link] {
+				continue
+			}
 			nd := dist[best] + g.links[e.link].Latency
 			if nd < dist[e.peer] || (nd == dist[e.peer] && parent[e.peer] >= 0 && best < parent[e.peer] && !done[e.peer]) {
 				dist[e.peer] = nd
