@@ -10,6 +10,7 @@ package sharqfec
 
 import (
 	"fmt"
+	"io"
 	"testing"
 
 	"sharqfec/internal/analysis"
@@ -458,4 +459,40 @@ func BenchmarkChaosGilbertVsBernoulli(b *testing.B) {
 		b.ReportMetric(100*srmGE.CompletionRate, "srmComplGE_%")
 		b.ReportMetric(100*shqGE.CompletionRate, "sharqfecComplGE_%")
 	}
+}
+
+// --- E15: telemetry overhead ---
+
+// BenchmarkTelemetryOverhead measures what the observability layer
+// costs: the same seeded Figure-10 run with telemetry off, with
+// metrics only, and with the full stack (metrics + JSONL event trace
+// to io.Discard). Compare ns/op and allocs/op across the sub-
+// benchmarks; "off" also bounds the cost of the dormant emission
+// sites left in the protocol hot paths.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	run := func(b *testing.B, tcfg *TelemetryConfig) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := RunData(DataConfig{
+				Protocol:   SHARQFEC,
+				Seed:       1,
+				NumPackets: 128,
+				Until:      20,
+				Telemetry:  tcfg,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if tcfg != nil && res.Telemetry.EventsEmitted == 0 {
+				b.Fatal("telemetry enabled but no events flowed")
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, nil) })
+	b.Run("metrics", func(b *testing.B) {
+		run(b, &TelemetryConfig{MetricsInterval: 1})
+	})
+	b.Run("metrics+events", func(b *testing.B) {
+		run(b, &TelemetryConfig{MetricsInterval: 1, Events: io.Discard})
+	})
 }

@@ -9,7 +9,6 @@ import (
 	"sharqfec/internal/eventq"
 	"sharqfec/internal/faults"
 	"sharqfec/internal/netsim"
-	"sharqfec/internal/packet"
 	"sharqfec/internal/scoping"
 	"sharqfec/internal/simrand"
 	"sharqfec/internal/topology"
@@ -173,6 +172,11 @@ type ChaosConfig struct {
 	JoinAt, SourceOnAt, Until float64
 	// Faults defaults to ZCRCrashPlan().
 	Faults *FaultPlan
+	// Telemetry configures extra exports (JSONL trace, snapshot
+	// interval, ring size). RunChaos keeps a bus, metrics registry and
+	// 512-event flight recorder running even when this is nil — its
+	// result counters are registry-backed.
+	Telemetry *TelemetryConfig
 }
 
 func (c *ChaosConfig) applyDefaults() {
@@ -237,6 +241,13 @@ type ChaosResult struct {
 	FaultLog   []string
 
 	NACKsSent, RepairsSent int
+
+	// FlightRecord is the flight recorder's control-plane tail, dumped
+	// only when the run ended anomalously (incomplete delivery among
+	// survivors, or a verification failure).
+	FlightRecord []string
+	// Telemetry is the full observability report for the run.
+	Telemetry *TelemetryReport
 }
 
 // RunChaos runs the full protocol against a scripted fault plan and
@@ -266,10 +277,24 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 	src := simrand.New(cfg.Seed)
 	net := netsim.New(&q, spec.Graph, h, src)
 
+	// Chaos runs always carry telemetry: the result's traffic counters
+	// come from the metrics registry, and the flight recorder preserves
+	// the control-plane tail for anomalous endings.
+	tcfg := TelemetryConfig{}
+	if cfg.Telemetry != nil {
+		tcfg = *cfg.Telemetry
+	}
+	if tcfg.FlightRecorder <= 0 {
+		tcfg.FlightRecorder = 512
+	}
+	tel := startTelemetry(&tcfg, &q, h, spec.Graph.NumNodes(), cfg.Until)
+	net.SetTelemetry(tel.bus)
+
 	pcfg := core.DefaultConfig()
 	pcfg.Source = spec.Source
 	pcfg.NumPackets = cfg.NumPackets
 	pcfg.Options = opts
+	pcfg.Telemetry = tel.bus
 	if cfg.GroupK > 0 {
 		pcfg.GroupK = cfg.GroupK
 	}
@@ -306,17 +331,6 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 		wire(m, ag)
 	}
 
-	localRepairs, globalRepairs := 0, 0
-	net.AddTap(func(now eventq.Time, at topology.NodeID, d netsim.Delivery) {
-		if _, ok := d.Pkt.(*packet.Repair); ok {
-			if h.Level(d.Scope) > 0 {
-				localRepairs++
-			} else {
-				globalRepairs++
-			}
-		}
-	})
-
 	res := &ChaosResult{
 		Protocol:  cfg.Protocol,
 		Topology:  spec.Name,
@@ -325,6 +339,7 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 	gone := make(map[topology.NodeID]bool) // crashed or departed, not restarted
 
 	eng := faults.NewEngine(net, src, &cfg.Faults.plan)
+	eng.Telemetry = tel.bus
 	eng.OnCrash = func(now eventq.Time, node topology.NodeID) {
 		ag, ok := agents[node]
 		if !ok {
@@ -406,16 +421,24 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 		res.CompletionRate = float64(liveDone) / float64(live*pcfg.NumGroups())
 	}
 	res.Verified = verified
-	if total := localRepairs + globalRepairs; total > 0 {
-		res.LocalRepairFrac = float64(localRepairs) / float64(total)
-	}
-	res.FaultDrops = int(net.FaultDrops())
 	for _, a := range eng.Log() {
 		res.FaultLog = append(res.FaultLog, fmt.Sprintf("%s %s", a.At, a.Desc))
 	}
-	for _, ag := range agents {
-		res.NACKsSent += ag.Stats.NACKsSent
-		res.RepairsSent += ag.Stats.RepairsSent
+
+	// Traffic counters come straight from the registry — the hand-rolled
+	// delivery tap and per-agent tallies this replaced double-counted
+	// nothing the event stream doesn't already carry.
+	rep, err := tel.finish(cfg.Until)
+	if err != nil {
+		return nil, err
+	}
+	res.Telemetry = rep
+	res.LocalRepairFrac = rep.LocalRepairFrac
+	res.FaultDrops = int(rep.FaultDrops)
+	res.NACKsSent = int(rep.NACKsSent)
+	res.RepairsSent = int(rep.RepairsSent)
+	if res.CompletionRate < 1 || !res.Verified {
+		res.FlightRecord = tel.rec.Dump()
 	}
 	return res, nil
 }

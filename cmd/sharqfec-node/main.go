@@ -20,10 +20,12 @@
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"strconv"
 	"strings"
 	"time"
@@ -32,6 +34,7 @@ import (
 	"sharqfec/internal/eventq"
 	"sharqfec/internal/scoping"
 	"sharqfec/internal/simrand"
+	"sharqfec/internal/telemetry"
 	"sharqfec/internal/topology"
 	"sharqfec/internal/udpmesh"
 )
@@ -51,6 +54,7 @@ func main() {
 	timeout := flag.Duration("timeout", 60*time.Second, "give up after this long")
 	demo := flag.Bool("demo", false, "run every member in this process")
 	seed := flag.Uint64("seed", 7, "loss / protocol RNG seed")
+	metricsAddr := flag.String("metrics-addr", "", "serve live metrics on this address (/metrics Prometheus text, /debug/vars expvar)")
 	flag.Parse()
 
 	spec, err := parseTopology(*topoFlag)
@@ -66,6 +70,9 @@ func main() {
 	cfg.Source = spec.Source
 	cfg.NumPackets = *packets
 	cfg.Rate = *rate
+	if *metricsAddr != "" {
+		cfg.Telemetry = serveMetrics(*metricsAddr, h, spec.Graph.NumNodes())
+	}
 
 	if *demo {
 		runDemo(spec, h, cfg, *loss, *seed, *warmup, *timeout)
@@ -114,6 +121,30 @@ func main() {
 		}
 	}
 	log.Printf("all %d groups reconstructed", groups)
+}
+
+// serveMetrics starts the live observability endpoint: a telemetry bus
+// whose registry is exposed as Prometheus text on /metrics and as
+// expvar JSON on /debug/vars. The protocol goroutines only touch atomic
+// counters, so scrapes never block the session.
+func serveMetrics(addr string, h *scoping.Hierarchy, numNodes int) *telemetry.Bus {
+	bus := telemetry.NewBus()
+	m := telemetry.NewMetrics(nil, h, numNodes)
+	bus.Attach(m.Sink())
+	expvar.Publish("sharqfec", expvar.Func(func() any { return m.Reg.Snapshot() }))
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = m.Reg.WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	go func() {
+		log.Printf("metrics on http://%s/metrics", addr)
+		if err := http.ListenAndServe(addr, mux); err != nil {
+			log.Printf("metrics endpoint: %v", err)
+		}
+	}()
+	return bus
 }
 
 // runDemo hosts every member in-process on ephemeral ports.

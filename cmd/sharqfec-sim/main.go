@@ -19,6 +19,11 @@
 //	           partition-zone/heal-zone <zone>,
 //	           gilbert-link <link> <mean> <burst>,
 //	           gilbert-all <mean> <burst>, gilbert-equal-mean <burst>)
+//	-trace-events      write a JSONL protocol-event trace to this file
+//	-metrics-out       write the per-zone metrics time series to this
+//	                   file (CSV, or a JSON array when the file name
+//	                   ends in .json)
+//	-metrics-interval  virtual seconds between snapshots (default 1)
 package main
 
 import (
@@ -45,6 +50,9 @@ func main() {
 	series := flag.Bool("series", false, "print per-bin traffic series")
 	tracePath := flag.String("trace", "", "write an ns-style packet trace to this file")
 	faultsPath := flag.String("faults", "", "fault-plan file to replay against the run")
+	eventsPath := flag.String("trace-events", "", "write a JSONL protocol-event trace to this file")
+	metricsPath := flag.String("metrics-out", "", "write per-zone metrics time series to this file (.json for JSON, else CSV)")
+	metricsInterval := flag.Float64("metrics-interval", 1, "virtual seconds between metrics snapshots")
 	flag.Parse()
 
 	proto, err := sharqfec.ParseProtocol(*protoFlag)
@@ -83,9 +91,31 @@ func main() {
 		}
 		cfg.Faults = plan
 	}
+	var eventsFile *os.File
+	if *eventsPath != "" || *metricsPath != "" {
+		cfg.Telemetry = &sharqfec.TelemetryConfig{MetricsInterval: *metricsInterval}
+		if *eventsPath != "" {
+			f, err := os.Create(*eventsPath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			eventsFile = f
+			cfg.Telemetry.Events = f
+		}
+	}
 	res, err := sharqfec.RunData(cfg)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if eventsFile != nil {
+		if err := eventsFile.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *metricsPath != "" {
+		if err := writeMetrics(*metricsPath, res.Telemetry); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	fmt.Printf("protocol:         %s\n", res.Protocol)
@@ -108,6 +138,12 @@ func main() {
 			fmt.Printf("  %s\n", f)
 		}
 	}
+	if t := res.Telemetry; t != nil {
+		fmt.Printf("telemetry:             %d events (%d traced), %d snapshots\n",
+			t.EventsEmitted, t.EventsWritten, t.NumSamples())
+		fmt.Printf("NACK suppression:      %.1f%%\n", 100*t.SuppressionRatio)
+		fmt.Printf("zone-local repairs:    %.1f%%\n", 100*t.LocalRepairFrac)
+	}
 
 	if *series {
 		fmt.Println("\n# t(s)\tdata+repair/rcvr\tNACKs/rcvr")
@@ -120,6 +156,24 @@ func main() {
 			fmt.Printf("%.1f\t%.3f\t%.3f\n", t, v, n)
 		}
 	}
+}
+
+// writeMetrics renders the time series to path: JSON when the name ends
+// in .json, CSV otherwise.
+func writeMetrics(path string, t *sharqfec.TelemetryReport) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".json") {
+		err = t.WriteMetricsJSON(f)
+	} else {
+		err = t.WriteMetricsCSV(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // parseTopology resolves the -topology flag.

@@ -49,6 +49,10 @@ type DataConfig struct {
 	// faults against the run (see FaultPlan). nil or empty leaves the
 	// run byte-identical to the fault-free experiment at the same seed.
 	Faults *FaultPlan
+	// Telemetry, when non-nil, attaches the observability layer (event
+	// bus, metrics time series, optional JSONL trace). nil leaves the
+	// run byte-identical to an uninstrumented one at the same seed.
+	Telemetry *TelemetryConfig
 }
 
 func (c *DataConfig) applyDefaults() {
@@ -105,6 +109,9 @@ type DataResult struct {
 	// Both are zero/empty without a DataConfig.Faults plan.
 	FaultDrops int
 	FaultLog   []string
+	// Telemetry is the observability report (nil unless
+	// DataConfig.Telemetry was set).
+	Telemetry *TelemetryReport
 }
 
 // RunData runs one data-delivery experiment and returns its traffic
@@ -144,11 +151,14 @@ func runSHARQFEC(cfg DataConfig, opts core.Options) (*DataResult, error) {
 		net.AddTap(tracer.Tap())
 		net.AddSendTap(tracer.SendTap())
 	}
+	tel := startTelemetry(cfg.Telemetry, &q, h, spec.Graph.NumNodes(), cfg.Until)
+	net.SetTelemetry(tel.busOf())
 
 	pcfg := core.DefaultConfig()
 	pcfg.Source = spec.Source
 	pcfg.NumPackets = cfg.NumPackets
 	pcfg.Options = opts
+	pcfg.Telemetry = tel.busOf()
 	if cfg.GroupK > 0 {
 		pcfg.GroupK = cfg.GroupK
 	}
@@ -187,6 +197,7 @@ func runSHARQFEC(cfg DataConfig, opts core.Options) (*DataResult, error) {
 	var eng *faults.Engine
 	if !cfg.Faults.Empty() {
 		eng = faults.NewEngine(net, src, &cfg.Faults.plan)
+		eng.Telemetry = tel.busOf()
 		eng.OnCrash = func(_ eventq.Time, node topology.NodeID) {
 			if ag, ok := agents[node]; ok {
 				ag.Stop()
@@ -222,7 +233,9 @@ func runSHARQFEC(cfg DataConfig, opts core.Options) (*DataResult, error) {
 	q.At(secondsToTime(cfg.SourceOnAt), func(eventq.Time) { sourceAgent.StartSource() })
 	q.RunUntil(secondsToTime(cfg.Until))
 	if tracer != nil {
-		_ = tracer.Flush()
+		if err := tracer.Flush(); err != nil {
+			return nil, fmt.Errorf("sharqfec: packet trace: %w", err)
+		}
 	}
 
 	res := &DataResult{
@@ -231,6 +244,11 @@ func runSHARQFEC(cfg DataConfig, opts core.Options) (*DataResult, error) {
 		Receivers: len(spec.Receivers),
 		Verified:  verified && !cfg.SkipVerify,
 	}
+	rep, err := tel.finish(cfg.Until)
+	if err != nil {
+		return nil, err
+	}
+	res.Telemetry = rep
 	fillSeries(res, col)
 	for _, ag := range agents {
 		res.NACKsSent += ag.Stats.NACKsSent
@@ -262,10 +280,13 @@ func runSRM(cfg DataConfig) (*DataResult, error) {
 		net.AddTap(tracer.Tap())
 		net.AddSendTap(tracer.SendTap())
 	}
+	tel := startTelemetry(cfg.Telemetry, &q, h, spec.Graph.NumNodes(), cfg.Until)
+	net.SetTelemetry(tel.busOf())
 
 	pcfg := srm.DefaultConfig()
 	pcfg.Source = spec.Source
 	pcfg.NumPackets = cfg.NumPackets
+	pcfg.Telemetry = tel.busOf()
 
 	agents := make(map[topology.NodeID]*srm.Agent, len(spec.Receivers)+1)
 	for _, m := range spec.Members() {
@@ -279,6 +300,7 @@ func runSRM(cfg DataConfig) (*DataResult, error) {
 	var eng *faults.Engine
 	if !cfg.Faults.Empty() {
 		eng = faults.NewEngine(net, src, &cfg.Faults.plan)
+		eng.Telemetry = tel.busOf()
 		eng.OnCrash = func(_ eventq.Time, node topology.NodeID) {
 			if ag, ok := agents[node]; ok {
 				ag.Stop()
@@ -313,7 +335,9 @@ func runSRM(cfg DataConfig) (*DataResult, error) {
 	q.At(secondsToTime(cfg.SourceOnAt), func(eventq.Time) { agents[spec.Source].StartSource() })
 	q.RunUntil(secondsToTime(cfg.Until))
 	if tracer != nil {
-		_ = tracer.Flush()
+		if err := tracer.Flush(); err != nil {
+			return nil, fmt.Errorf("sharqfec: packet trace: %w", err)
+		}
 	}
 
 	res := &DataResult{
@@ -321,6 +345,11 @@ func runSRM(cfg DataConfig) (*DataResult, error) {
 		Topology:  cfg.Topology.spec.Name,
 		Receivers: len(spec.Receivers),
 	}
+	rep, err := tel.finish(cfg.Until)
+	if err != nil {
+		return nil, err
+	}
+	res.Telemetry = rep
 	fillSeries(res, col)
 	held, verified := 0, true
 	srcAgent := agents[spec.Source]

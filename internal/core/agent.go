@@ -10,6 +10,7 @@ import (
 	"sharqfec/internal/scoping"
 	"sharqfec/internal/session"
 	"sharqfec/internal/simrand"
+	"sharqfec/internal/telemetry"
 	"sharqfec/internal/topology"
 )
 
@@ -34,6 +35,7 @@ type Agent struct {
 	rng   *simrand.Rand
 	sess  *session.Manager
 	codec *fec.Codec
+	tel   *telemetry.Bus // nil when telemetry is disabled
 
 	isSource bool
 	root     scoping.ZoneID
@@ -99,7 +101,9 @@ func New(node topology.NodeID, net fabric.Network, cfg Config, src *simrand.Sour
 		c2:            cfg.C2,
 		ipt:           cfg.InterPacket(), // advertised rate bootstraps the estimate
 		predZLC:       make(map[scoping.ZoneID]float64),
+		tel:           cfg.Telemetry,
 	}
+	cfg.Session.Telemetry = cfg.Telemetry
 	a.sess = session.New(node, net, cfg.Session, src.StreamN("session", int(node)))
 	if cfg.Options.Scoping {
 		a.chain = net.Hierarchy().ZonesOf(node)
@@ -324,6 +328,21 @@ func (a *Agent) distToSource() float64 {
 // a complete group.
 func (a *Agent) canRepair() bool {
 	return a.isSource || !a.cfg.Options.SenderOnly
+}
+
+// emit posts a protocol event when telemetry is attached. Events carry
+// no protocol state and consume no randomness, so instrumented and
+// plain runs are byte-identical per seed.
+func (a *Agent) emit(now eventq.Time, kind telemetry.Kind, zone scoping.ZoneID,
+	group, av, bv int64, f float64) {
+
+	if a.tel == nil {
+		return
+	}
+	a.tel.Emit(telemetry.Event{
+		T: now.Seconds(), Kind: kind, Node: a.node, Zone: zone,
+		Group: group, A: av, B: bv, F: f,
+	})
 }
 
 // isZCR reports whether this agent is currently the ZCR of zone z (the

@@ -13,6 +13,7 @@ package core
 
 import (
 	"sharqfec/internal/session"
+	"sharqfec/internal/telemetry"
 	"sharqfec/internal/topology"
 )
 
@@ -92,6 +93,11 @@ type Config struct {
 
 	Options Options
 	Session session.Config
+
+	// Telemetry, when non-nil, receives the agent's protocol events
+	// (NACK/repair lifecycle, losses, decodes, injections). nil — the
+	// default — keeps every emission site a single nil check.
+	Telemetry *telemetry.Bus
 }
 
 // DefaultConfig returns the paper's §6.2 parameters with the full

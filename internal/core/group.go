@@ -6,6 +6,7 @@ import (
 	"sharqfec/internal/fec"
 	"sharqfec/internal/packet"
 	"sharqfec/internal/scoping"
+	"sharqfec/internal/telemetry"
 )
 
 // group is per-FEC-group receiver/repairer state.
@@ -158,6 +159,7 @@ func (a *Agent) noteLoss(now eventq.Time, s uint32) {
 	}
 	g.counted[idx] = true
 	g.llc++
+	a.emit(now, telemetry.KindLossDetected, scoping.NoZone, int64(gid), int64(s), 0, 0)
 	if g.complete {
 		return
 	}
@@ -210,6 +212,7 @@ func (a *Agent) ldpExpired(now eventq.Time, g *group) {
 		if !g.seen[idx] && !g.counted[idx] {
 			g.counted[idx] = true
 			g.llc++
+			a.emit(now, telemetry.KindLossDetected, scoping.NoZone, int64(g.id), int64(base)+int64(idx), 0, 0)
 		}
 	}
 	g.inRepair = true
@@ -240,6 +243,7 @@ func (a *Agent) armRequestTimer(now eventq.Time, g *group) {
 	hi := factor * (c1 + c2) * d
 	delay := eventq.Duration(a.rng.Uniform(lo, hi))
 	g.reqTimer = a.net.Sched().After(delay, func(fire eventq.Time) { a.requestTimerFired(fire, g) })
+	a.emit(now, telemetry.KindNACKScheduled, a.scopeZone(g.scopeIdx), int64(g.id), int64(g.llc), int64(g.reqExp), delay.Seconds())
 }
 
 // requestTimerFired sends a NACK if the group still needs repairs that
@@ -275,6 +279,7 @@ func (a *Agent) requestTimerFired(now eventq.Time, g *group) {
 	// into minutes-long stalls for receivers behind very lossy tails).
 	if g.outstanding >= needed {
 		a.Stats.NACKsSuppressed++
+		a.emit(now, telemetry.KindNACKSuppressed, a.scopeZone(g.scopeIdx), int64(g.id), 1, int64(g.reqExp), 0)
 		g.outstanding /= 2
 		a.armRequestTimer(now, g)
 		return
@@ -283,6 +288,7 @@ func (a *Agent) requestTimerFired(now eventq.Time, g *group) {
 		g.scopeIdx++
 		g.attempts = 0
 		a.Stats.ScopeEscalations++
+		a.emit(now, telemetry.KindScopeEscalated, a.scopeZone(g.scopeIdx), int64(g.id), 0, 0, 0)
 	}
 	scope := a.scopeZone(g.scopeIdx)
 	llc := g.llc
@@ -300,6 +306,7 @@ func (a *Agent) requestTimerFired(now eventq.Time, g *group) {
 	}
 	a.net.Multicast(a.node, scope, nack)
 	a.Stats.NACKsSent++
+	a.emit(now, telemetry.KindNACKSent, scope, int64(g.id), int64(g.llc), int64(needed), 0)
 	g.attempts++
 	if g.zlc[scope] < g.llc {
 		g.zlc[scope] = g.llc // our own NACK sets the new ZLC
@@ -342,6 +349,7 @@ func (a *Agent) handleNACK(now eventq.Time, p *packet.NACK) {
 			// re-requested).
 			g.reqTimer.Stop()
 			a.Stats.NACKsSuppressed++
+			a.emit(now, telemetry.KindNACKSuppressed, scope, int64(g.id), 0, int64(g.reqExp), 0)
 			g.reqExp++
 			a.armRequestTimer(now, g)
 		} else if !increased {
@@ -442,6 +450,7 @@ func (a *Agent) handleRepair(now eventq.Time, p *packet.Repair) {
 	// Cancel the reply timer only once the whole repair is covered.
 	if g.replyTimer != nil && g.replyTimer.Active() && a.totalPending(g) == 0 {
 		g.replyTimer.Stop()
+		a.emit(now, telemetry.KindRepairSuppressed, scope, int64(g.id), 0, 0, 0)
 	}
 	a.maybeComplete(now, g)
 }
@@ -475,6 +484,11 @@ func (a *Agent) maybeComplete(now eventq.Time, g *group) {
 	g.data = data
 	g.shares = nil // release share buffers; data holds the originals
 	a.Stats.GroupsCompleted++
+	lat := 0.0
+	if g.firstSeen > 0 {
+		lat = now.Sub(g.firstSeen).Seconds()
+	}
+	a.emit(now, telemetry.KindGroupDecoded, scoping.NoZone, int64(g.id), int64(g.repairsHeard), int64(g.llc), lat)
 	if g.reqTimer != nil {
 		g.reqTimer.Stop()
 	}

@@ -4,6 +4,7 @@ import (
 	"sharqfec/internal/eventq"
 	"sharqfec/internal/packet"
 	"sharqfec/internal/scoping"
+	"sharqfec/internal/telemetry"
 )
 
 // This file implements the repairer half of §4's Repair Phase: reply
@@ -89,6 +90,7 @@ func (a *Agent) armReplyTimer(now eventq.Time, g *group, nack *packet.NACK) {
 	g.replyTimer = a.net.Sched().After(delay, func(fire eventq.Time) {
 		a.serveQueuedRepairs(fire, g)
 	})
+	a.emit(now, telemetry.KindRepairScheduled, scoping.NoZone, int64(g.id), 0, 0, delay.Seconds())
 }
 
 // serveQueuedRepairs sends the speculative repair queue for every zone
@@ -173,11 +175,15 @@ func (a *Agent) transmitRepair(now eventq.Time, g *group, z scoping.ZoneID, idx,
 	}
 	a.net.Multicast(a.node, z, rep)
 	a.Stats.RepairsSent++
+	a.emit(now, telemetry.KindRepairSent, z, int64(g.id), int64(burstMax), int64(idx), 0)
 }
 
 // injectRepairs preemptively sends h repair shares into zone z (ZCR
-// automatic injection, or the sender's per-group redundancy).
+// automatic injection, or the sender's per-group redundancy). The
+// telemetry event carries the EWMA predictor state that sized the
+// injection.
 func (a *Agent) injectRepairs(now eventq.Time, g *group, z scoping.ZoneID, h int) {
+	a.emit(now, telemetry.KindRepairInjected, z, int64(g.id), int64(h), int64(g.repairsHeard), a.predZLC[z])
 	a.sendRepairBurst(now, g, z, h)
 }
 

@@ -7,6 +7,7 @@ import (
 	"sharqfec/internal/netsim"
 	"sharqfec/internal/scoping"
 	"sharqfec/internal/simrand"
+	"sharqfec/internal/telemetry"
 	"sharqfec/internal/topology"
 )
 
@@ -28,6 +29,10 @@ type Engine struct {
 	OnCrash   func(now eventq.Time, node topology.NodeID)
 	OnRestart func(now eventq.Time, node topology.NodeID)
 	OnLeave   func(now eventq.Time, node topology.NodeID)
+
+	// Telemetry, when non-nil, receives a fault-transition event for
+	// every plan event as it fires.
+	Telemetry *telemetry.Bus
 
 	log []Applied
 	// partitioned records, per zone, the links a PartitionZone event
@@ -114,6 +119,20 @@ func (e *Engine) apply(now eventq.Time, ev Event) {
 		}
 	}
 	e.log = append(e.log, Applied{At: now, Desc: ev.desc()})
+	if e.Telemetry != nil {
+		node := topology.NoNode
+		zone := scoping.NoZone
+		switch ev.Kind {
+		case Crash, Restart, Leave:
+			node = ev.Node
+		case PartitionZone, HealZone:
+			zone = ev.Zone
+		}
+		e.Telemetry.Emit(telemetry.Event{
+			T: now.Seconds(), Kind: telemetry.KindFault, Node: node, Zone: zone,
+			Group: -1, A: int64(ev.Kind), B: int64(ev.Link),
+		})
+	}
 }
 
 // partition disables every enabled link with exactly one endpoint

@@ -21,6 +21,7 @@ import (
 	"sharqfec/internal/packet"
 	"sharqfec/internal/scoping"
 	"sharqfec/internal/simrand"
+	"sharqfec/internal/telemetry"
 	"sharqfec/internal/topology"
 )
 
@@ -68,6 +69,9 @@ type Network struct {
 	lossRNG  *simrand.Rand
 	taps     []Tap
 	sendTaps []SendTap
+	// tel, when non-nil, receives a transport event per transmission,
+	// delivery and drop. nil (the default) keeps every path untouched.
+	tel *telemetry.Bus
 
 	// lossModels[link][dir], when non-nil, overrides the Bernoulli draw
 	// for that link direction. nil until the first SetLossModel, so the
@@ -147,6 +151,10 @@ func (n *Network) AddTap(t Tap) { n.taps = append(n.taps, t) }
 
 // AddSendTap registers a transmission observer.
 func (n *Network) AddSendTap(t SendTap) { n.sendTaps = append(n.sendTaps, t) }
+
+// SetTelemetry attaches (or, with nil, detaches) a telemetry bus that
+// receives packet_sent / packet_delivered / drop events.
+func (n *Network) SetTelemetry(b *telemetry.Bus) { n.tel = b }
 
 // Stats returns (multicasts sent, packets delivered to members, packets
 // dropped by link loss).
@@ -291,6 +299,12 @@ func (n *Network) MulticastE(from topology.NodeID, zone scoping.ZoneID, pkt pack
 	for _, tap := range n.sendTaps {
 		tap(now, from, zone, pkt)
 	}
+	if n.tel.On() {
+		n.tel.Emit(telemetry.Event{
+			T: now.Seconds(), Kind: telemetry.KindPacketSent, Node: from, Zone: zone,
+			Group: -1, A: int64(pkt.Kind()), B: int64(pkt.WireSize()),
+		})
+	}
 	children := n.prunedChildren(from, zone)
 	isMember := n.members(zone)
 	tree := n.Tree(from)
@@ -324,6 +338,7 @@ func (n *Network) forward(t eventq.Time, tree *topology.Tree, children [][]topol
 		// The routing tree predates a link failure (multicasts in
 		// flight keep their tree): the packet dies at the broken link.
 		n.faultdrops++
+		n.emitDrop(t, telemetry.KindFaultDrop, v, zone, pkt)
 		return
 	}
 	link := n.G.Link(li)
@@ -342,6 +357,7 @@ func (n *Network) forward(t eventq.Time, tree *topology.Tree, children [][]topol
 		backlog := float64(start.Sub(t)) / float64(txTime)
 		if backlog > float64(n.QueueLimit) {
 			n.taildrops++
+			n.emitDrop(t, telemetry.KindTailDrop, v, zone, pkt)
 			return // congestion: the queue is full, the subtree misses it
 		}
 	}
@@ -353,10 +369,12 @@ func (n *Network) forward(t eventq.Time, tree *topology.Tree, children [][]topol
 		if m := n.lossModel(li, dir); m != nil {
 			if m.Drop() {
 				n.dropped++
+				n.emitDrop(t, telemetry.KindPacketLost, v, zone, pkt)
 				return // whole subtree below v misses the packet
 			}
 		} else if n.lossRNG.Bernoulli(n.G.LossFrom(li, u)) {
 			n.dropped++
+			n.emitDrop(t, telemetry.KindPacketLost, v, zone, pkt)
 			return // whole subtree below v misses the packet
 		}
 	}
@@ -384,9 +402,30 @@ func (n *Network) deliver(now eventq.Time, at topology.NodeID, d Delivery) {
 	for _, tap := range n.taps {
 		tap(now, at, d)
 	}
+	if n.tel.On() {
+		n.tel.Emit(telemetry.Event{
+			T: now.Seconds(), Kind: telemetry.KindPacketDelivered, Node: at, Zone: d.Scope,
+			Group: -1, A: int64(d.Pkt.Kind()), B: int64(d.Pkt.WireSize()),
+		})
+	}
 	if a := n.agents[at]; a != nil {
 		a.Receive(now, d)
 	}
+}
+
+// emitDrop reports a packet death at node v's inbound link. The drop is
+// timestamped with the forwarding decision time (the loss is decided at
+// enqueue, before the propagation delay elapses).
+func (n *Network) emitDrop(t eventq.Time, kind telemetry.Kind, v topology.NodeID,
+	zone scoping.ZoneID, pkt packet.Packet) {
+
+	if !n.tel.On() {
+		return
+	}
+	n.tel.Emit(telemetry.Event{
+		T: t.Seconds(), Kind: kind, Node: v, Zone: zone,
+		Group: -1, A: int64(pkt.Kind()), B: int64(pkt.WireSize()),
+	})
 }
 
 // OneWayDelay returns the pure propagation latency from a to b along the

@@ -15,6 +15,7 @@ import (
 	"sharqfec/internal/packet"
 	"sharqfec/internal/scoping"
 	"sharqfec/internal/simrand"
+	"sharqfec/internal/telemetry"
 	"sharqfec/internal/topology"
 )
 
@@ -48,6 +49,10 @@ type Config struct {
 	// DefaultDist is the one-way distance assumed for peers with no
 	// estimate yet (bootstraps suppression timers).
 	DefaultDist float64
+
+	// Telemetry, when non-nil, receives RTT-sample and ZCR-election
+	// events. The owning protocol agent propagates its own bus here.
+	Telemetry *telemetry.Bus
 }
 
 // DefaultConfig returns the paper-calibrated session constants.
@@ -336,6 +341,13 @@ func (m *Manager) HandleSession(now eventq.Time, msg *packet.Session) {
 
 // observeRTT merges a new RTT sample for peer with the EWMA filter.
 func (m *Manager) observeRTT(peer topology.NodeID, sample float64) {
+	if m.cfg.Telemetry != nil {
+		m.cfg.Telemetry.Emit(telemetry.Event{
+			T: m.net.Sched().Now().Seconds(), Kind: telemetry.KindRTTSample,
+			Node: m.node, Zone: scoping.NoZone, Group: -1,
+			A: int64(peer), F: sample,
+		})
+	}
 	pi := m.direct[peer]
 	if pi == nil {
 		pi = &peerInfo{}
@@ -392,6 +404,16 @@ func (m *Manager) setZCR(now eventq.Time, z scoping.ZoneID, n topology.NodeID, d
 	m.suspectZCR[z] = false
 	if had && prev != n {
 		m.Elections++
+	}
+	if m.cfg.Telemetry != nil && (!had || prev != n) {
+		if !had {
+			prev = topology.NoNode
+		}
+		m.cfg.Telemetry.Emit(telemetry.Event{
+			T: now.Seconds(), Kind: telemetry.KindZCRElected,
+			Node: m.node, Zone: z, Group: -1,
+			A: int64(prev), B: int64(n),
+		})
 	}
 	if n == m.node {
 		m.startChallengeDuty(z)

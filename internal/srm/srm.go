@@ -21,6 +21,7 @@ import (
 	"sharqfec/internal/scoping"
 	"sharqfec/internal/session"
 	"sharqfec/internal/simrand"
+	"sharqfec/internal/telemetry"
 	"sharqfec/internal/topology"
 )
 
@@ -45,6 +46,10 @@ type Config struct {
 	HoldDown float64
 
 	Session session.Config
+
+	// Telemetry, when non-nil, receives request/repair lifecycle
+	// events (the SRM analogue of core's emissions).
+	Telemetry *telemetry.Bus
 }
 
 // DefaultConfig returns SRM defaults matching the paper's simulations
@@ -99,6 +104,7 @@ type Agent struct {
 	cfg  Config
 	rng  *simrand.Rand
 	sess *session.Manager
+	tel  *telemetry.Bus // nil when telemetry is disabled
 
 	isSource bool
 	root     scoping.ZoneID
@@ -139,7 +145,9 @@ func New(node topology.NodeID, net fabric.Network, cfg Config, src *simrand.Sour
 		maxSeq:   -1,
 		c1:       cfg.C1, c2: cfg.C2,
 		d1: cfg.D1, d2: cfg.D2,
+		tel: cfg.Telemetry,
 	}
+	cfg.Session.Telemetry = cfg.Telemetry
 	a.sess = session.New(node, net, cfg.Session, src.StreamN("session", int(node)))
 	if a.isSource {
 		a.sendData = make(map[uint32][]byte)
@@ -272,11 +280,27 @@ func (a *Agent) hold(now eventq.Time, seq uint32, payload []byte) {
 	}
 }
 
+// emit posts a protocol event when telemetry is attached.
+func (a *Agent) emit(now eventq.Time, kind telemetry.Kind, seq uint32, av, bv int64, f float64) {
+	if a.tel == nil {
+		return
+	}
+	a.tel.Emit(telemetry.Event{
+		T: now.Seconds(), Kind: kind, Node: a.node, Zone: a.root,
+		Group: int64(seq), A: av, B: bv, F: f,
+	})
+}
+
 // noteLoss arms a request timer for a newly detected missing packet.
 func (a *Agent) noteLoss(now eventq.Time, seq uint32) {
 	st := a.state(seq)
 	if st.have {
 		return
+	}
+	if st.reqTimer == nil {
+		// First detection of this sequence number (re-arms after
+		// suppression or loss of the repair are not new losses).
+		a.emit(now, telemetry.KindLossDetected, seq, int64(seq), 0, 0)
 	}
 	a.armRequestTimer(now, seq, st)
 }
@@ -296,6 +320,7 @@ func (a *Agent) armRequestTimer(now eventq.Time, seq uint32, st *pktState) {
 	st.reqTimer = a.net.Sched().After(delay, func(fire eventq.Time) {
 		a.requestFired(fire, seq, st)
 	})
+	a.emit(now, telemetry.KindNACKScheduled, seq, 1, int64(st.reqExp), delay.Seconds())
 }
 
 func (a *Agent) requestFired(now eventq.Time, seq uint32, st *pktState) {
@@ -312,6 +337,7 @@ func (a *Agent) requestFired(now eventq.Time, seq uint32, st *pktState) {
 		Ancestors: a.sess.AncestorList(),
 	})
 	a.Stats.RequestsSent++
+	a.emit(now, telemetry.KindNACKSent, seq, 1, 1, 0)
 	st.requestedAt = now
 	// Back off and re-arm in case the repair is lost (SRM request
 	// timers double after each transmission).
@@ -341,6 +367,7 @@ func (a *Agent) handleRequest(now eventq.Time, p *packet.NACK) {
 			st.reqExp++
 			st.dupReq++
 			a.Stats.RequestsSuppressed++
+			a.emit(now, telemetry.KindNACKSuppressed, seq, 0, int64(st.reqExp), 0)
 			a.armRequestTimer(now, seq, st)
 		} else {
 			a.noteLoss(now, seq)
@@ -362,6 +389,7 @@ func (a *Agent) handleRequest(now eventq.Time, p *packet.NACK) {
 	st.repTimer = a.net.Sched().After(delay, func(fire eventq.Time) {
 		a.replyFired(fire, seq, st, d)
 	})
+	a.emit(now, telemetry.KindRepairScheduled, seq, 0, 0, delay.Seconds())
 }
 
 func (a *Agent) replyFired(now eventq.Time, seq uint32, st *pktState, d float64) {
@@ -380,6 +408,7 @@ func (a *Agent) replyFired(now eventq.Time, seq uint32, st *pktState, d float64)
 		Payload: st.payload,
 	})
 	a.Stats.RepairsSent++
+	a.emit(now, telemetry.KindRepairSent, seq, 0, 0, 0)
 	st.holdTill = now.Add(eventq.Duration(a.cfg.HoldDown * d))
 	a.adaptAfterReply(st)
 }
@@ -394,6 +423,7 @@ func (a *Agent) handleRepair(now eventq.Time, p *packet.Repair) {
 		if st.repTimer != nil && st.repTimer.Active() {
 			st.repTimer.Stop()
 			a.Stats.RepairsSuppressed++
+			a.emit(now, telemetry.KindRepairSuppressed, seq, 0, 0, 0)
 		}
 		st.holdTill = now.Add(eventq.Duration(a.cfg.HoldDown * a.sess.Dist(p.Origin, nil)))
 		a.adaptAfterReply(st)

@@ -18,30 +18,58 @@ import (
 //
 //   - 6.0000 n0 z0 DATA 1000
 //     r 6.0311 n14 from=n0 z0 DATA 1000
+//
+// Write errors are sticky: the first failure stops all further output
+// and is reported by Err and Flush, so a full-disk or closed-pipe trace
+// cannot silently truncate.
 type Tracer struct {
-	w *bufio.Writer
+	w   *bufio.Writer
+	err error
 }
 
-// NewTracer wraps w; call Flush when the simulation completes.
+// NewTracer wraps w; call Flush when the simulation completes and check
+// its error.
 func NewTracer(w io.Writer) *Tracer {
 	return &Tracer{w: bufio.NewWriter(w)}
+}
+
+// setErr records the first error seen.
+func (t *Tracer) setErr(err error) {
+	if t.err == nil && err != nil {
+		t.err = err
+	}
 }
 
 // SendTap returns the transmission-side tap.
 func (t *Tracer) SendTap() netsim.SendTap {
 	return func(now eventq.Time, from topology.NodeID, zone scoping.ZoneID, pkt packet.Packet) {
-		fmt.Fprintf(t.w, "+ %.4f n%d z%d %s %d\n",
+		if t.err != nil {
+			return
+		}
+		_, err := fmt.Fprintf(t.w, "+ %.4f n%d z%d %s %d\n",
 			now.Seconds(), from, zone, pkt.Kind(), pkt.WireSize())
+		t.setErr(err)
 	}
 }
 
 // Tap returns the delivery-side tap.
 func (t *Tracer) Tap() netsim.Tap {
 	return func(now eventq.Time, at topology.NodeID, d netsim.Delivery) {
-		fmt.Fprintf(t.w, "r %.4f n%d from=n%d z%d %s %d\n",
+		if t.err != nil {
+			return
+		}
+		_, err := fmt.Fprintf(t.w, "r %.4f n%d from=n%d z%d %s %d\n",
 			now.Seconds(), at, d.From, d.Scope, d.Pkt.Kind(), d.Pkt.WireSize())
+		t.setErr(err)
 	}
 }
 
-// Flush drains buffered trace lines to the underlying writer.
-func (t *Tracer) Flush() error { return t.w.Flush() }
+// Err returns the first write error encountered by the taps, if any.
+func (t *Tracer) Err() error { return t.err }
+
+// Flush drains buffered trace lines to the underlying writer and
+// returns the first error seen (tap write or flush).
+func (t *Tracer) Flush() error {
+	t.setErr(t.w.Flush())
+	return t.err
+}

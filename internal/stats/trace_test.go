@@ -1,0 +1,95 @@
+package stats_test
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sharqfec"
+	"sharqfec/internal/packet"
+	"sharqfec/internal/stats"
+)
+
+// chain3Trace runs the golden scenario: a 3-node chain, 16 packets,
+// fixed seed, full packet trace.
+func chain3Trace(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	_, err := sharqfec.RunData(sharqfec.DataConfig{
+		Protocol:    sharqfec.SHARQFEC,
+		Topology:    sharqfec.ChainTopology(3, 0.1),
+		Seed:        42,
+		NumPackets:  16,
+		Until:       12,
+		TraceWriter: &buf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestTracerGoldenChain3 pins the trace format and the determinism of a
+// seeded run against a committed golden file. Regenerate with
+// UPDATE_GOLDEN=1 after an intentional format or protocol change.
+func TestTracerGoldenChain3(t *testing.T) {
+	got := chain3Trace(t)
+	golden := filepath.Join("testdata", "chain3.trace")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with UPDATE_GOLDEN=1 to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		gl := strings.Split(string(got), "\n")
+		wl := strings.Split(string(want), "\n")
+		for i := 0; i < len(gl) && i < len(wl); i++ {
+			if gl[i] != wl[i] {
+				t.Fatalf("trace diverges from golden at line %d:\ngot:  %s\nwant: %s",
+					i+1, gl[i], wl[i])
+			}
+		}
+		t.Fatalf("trace length changed: %d lines vs golden %d", len(gl), len(wl))
+	}
+	// Structural sanity independent of the exact bytes.
+	for i, line := range strings.Split(strings.TrimSpace(string(got)), "\n") {
+		if !strings.HasPrefix(line, "+ ") && !strings.HasPrefix(line, "r ") {
+			t.Fatalf("line %d has unknown record type: %q", i+1, line)
+		}
+	}
+}
+
+type failingWriter struct{}
+
+func (failingWriter) Write([]byte) (int, error) { return 0, errors.New("pipe closed") }
+
+// TestTracerSurfacesWriteErrors: write failures must be visible through
+// Err and Flush, and must stop further output instead of silently
+// truncating the trace.
+func TestTracerSurfacesWriteErrors(t *testing.T) {
+	tr := stats.NewTracer(failingWriter{})
+	if err := tr.Err(); err != nil {
+		t.Fatalf("error before any write: %v", err)
+	}
+	// One line stays inside bufio; Flush hits the writer.
+	tr.SendTap()(0, 0, 0, &packet.NACK{})
+	if err := tr.Flush(); err == nil {
+		t.Fatal("Flush swallowed the write error")
+	}
+	if tr.Err() == nil {
+		t.Fatal("Err nil after failed flush")
+	}
+	if err := tr.Flush(); err == nil {
+		t.Fatal("second Flush forgot the sticky error")
+	}
+}

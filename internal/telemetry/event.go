@@ -1,0 +1,203 @@
+// Package telemetry is the observability layer of the reproduction: a
+// typed protocol-event bus, a metrics registry keyed by (node, zone,
+// packet kind), periodic per-zone time-series snapshots driven off the
+// simulation's virtual clock, and exporters (JSONL event trace, CSV/JSON
+// time series, Prometheus-text / expvar-style endpoints).
+//
+// The layer is strictly passive: emitting an event consumes no
+// randomness and mutates no protocol state, so attaching it cannot
+// perturb a seeded run, and a nil *Bus makes every emission site a
+// no-op with zero allocations (Event is a flat value struct and Emit
+// has a nil-receiver guard), keeping instrumented hot paths free when
+// telemetry is disabled.
+package telemetry
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"sharqfec/internal/scoping"
+	"sharqfec/internal/topology"
+)
+
+// Kind identifies a protocol event type.
+type Kind uint8
+
+// The event taxonomy. The A, B and F fields of Event are kind-specific;
+// their meaning is documented per constant.
+const (
+	KindNone Kind = iota
+
+	// Control-plane events from internal/core and internal/srm.
+
+	// KindNACKScheduled: a request timer was armed. F = delay (s).
+	KindNACKScheduled
+	// KindNACKSuppressed: a planned NACK was cancelled. A = reason
+	// (0 = a peer's NACK covered ours, 1 = enough repairs outstanding),
+	// B = the request back-off exponent at suppression time.
+	KindNACKSuppressed
+	// KindNACKSent: Zone = scope addressed, A = local loss count (LLC),
+	// B = shares still needed.
+	KindNACKSent
+	// KindRepairScheduled: a reply timer was armed. F = delay (s).
+	KindRepairScheduled
+	// KindRepairSuppressed: a planned reply was cancelled because the
+	// heard repairs covered the whole queue.
+	KindRepairSuppressed
+	// KindRepairSent: one repair share multicast. Zone = scope,
+	// A = burst end (highest share index of the burst), B = share index.
+	KindRepairSent
+	// KindRepairInjected: preemptive FEC entered a zone without a NACK.
+	// Zone = scope, A = shares injected, F = the EWMA predicted zone
+	// loss count driving the decision (predictor state).
+	KindRepairInjected
+	// KindLossDetected: an original data packet was declared lost.
+	// Group = its FEC group, A = sequence number.
+	KindLossDetected
+	// KindGroupDecoded: a receiver reconstructed a full FEC group.
+	// A = repair shares used, B = final LLC, F = decode latency (s,
+	// first share seen → decode).
+	KindGroupDecoded
+	// KindScopeEscalated: a requester widened its NACK scope.
+	// Zone = the new (wider) scope.
+	KindScopeEscalated
+
+	// Session-layer events from internal/session.
+
+	// KindZCRElected: a member's ZCR belief for Zone changed.
+	// A = previous ZCR node (-1 = none), B = new ZCR node.
+	KindZCRElected
+	// KindRTTSample: an echo-based RTT measurement. A = peer node,
+	// F = the raw sample (s).
+	KindRTTSample
+
+	// Fault-engine events from internal/faults.
+
+	// KindFault: a scripted fault fired. A = the faults.Kind ordinal.
+	KindFault
+
+	// Transport events from internal/netsim.
+
+	// KindPacketSent: one multicast transmission. Zone = scope,
+	// A = packet.Type ordinal, B = wire bytes.
+	KindPacketSent
+	// KindPacketDelivered: one delivery to a session member. Zone =
+	// scope, A = packet.Type ordinal, B = wire bytes.
+	KindPacketDelivered
+	// KindPacketLost: a loss-model drop on a link. Node = the far end
+	// of the link, A = packet.Type ordinal, B = wire bytes.
+	KindPacketLost
+	// KindTailDrop: a transmit-queue overflow drop (same fields).
+	KindTailDrop
+	// KindFaultDrop: a drop on an administratively-down link (same
+	// fields).
+	KindFaultDrop
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	KindNone:             "none",
+	KindNACKScheduled:    "nack_scheduled",
+	KindNACKSuppressed:   "nack_suppressed",
+	KindNACKSent:         "nack_sent",
+	KindRepairScheduled:  "repair_scheduled",
+	KindRepairSuppressed: "repair_suppressed",
+	KindRepairSent:       "repair_sent",
+	KindRepairInjected:   "repair_injected",
+	KindLossDetected:     "loss_detected",
+	KindGroupDecoded:     "group_decoded",
+	KindScopeEscalated:   "scope_escalated",
+	KindZCRElected:       "zcr_elected",
+	KindRTTSample:        "rtt_sample",
+	KindFault:            "fault",
+	KindPacketSent:       "packet_sent",
+	KindPacketDelivered:  "packet_delivered",
+	KindPacketLost:       "packet_lost",
+	KindTailDrop:         "tail_drop",
+	KindFaultDrop:        "fault_drop",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Event is one protocol occurrence. It is a flat value struct — no
+// pointers, no slices — so building one never allocates and sinks may
+// retain copies freely. Zone is scoping.NoZone and Group is -1 when the
+// kind has no scope / group.
+type Event struct {
+	T     float64 // simulated seconds
+	Kind  Kind
+	Node  topology.NodeID
+	Zone  scoping.ZoneID
+	Group int64
+	A, B  int64
+	F     float64
+}
+
+// Format renders an event as a stable single line, for flight-recorder
+// dumps and debugging.
+func (e Event) Format() string {
+	s := fmt.Sprintf("%10.4fs %-18s n%d", e.T, e.Kind, e.Node)
+	if e.Zone != scoping.NoZone {
+		s += fmt.Sprintf(" z%d", e.Zone)
+	}
+	if e.Group >= 0 {
+		s += fmt.Sprintf(" g%d", e.Group)
+	}
+	if e.A != 0 || e.B != 0 {
+		s += fmt.Sprintf(" a=%d b=%d", e.A, e.B)
+	}
+	if e.F != 0 {
+		s += fmt.Sprintf(" f=%.6g", e.F)
+	}
+	return s
+}
+
+// Sink consumes events. Sinks run synchronously on the emitting
+// goroutine and must not call back into the protocol.
+type Sink func(Event)
+
+// Bus fans events out to its sinks. A nil *Bus is the disabled state:
+// Emit returns immediately and On reports false, so instrumented code
+// holds a possibly-nil *Bus and pays only a nil check when telemetry is
+// off.
+type Bus struct {
+	sinks []Sink
+	// count is atomic: udpmesh drives one emitting goroutine per node
+	// over a shared bus.
+	count atomic.Uint64
+}
+
+// NewBus returns an empty (but enabled) bus.
+func NewBus() *Bus { return &Bus{} }
+
+// Attach registers a sink. Not safe concurrently with Emit.
+func (b *Bus) Attach(s Sink) { b.sinks = append(b.sinks, s) }
+
+// On reports whether emitting is worthwhile (non-nil bus with at least
+// one sink). Hot paths may use it to skip assembling event fields.
+func (b *Bus) On() bool { return b != nil && len(b.sinks) > 0 }
+
+// Emit delivers e to every sink. Safe on a nil receiver (no-op).
+func (b *Bus) Emit(e Event) {
+	if b == nil {
+		return
+	}
+	b.count.Add(1)
+	for _, s := range b.sinks {
+		s(e)
+	}
+}
+
+// Count returns the number of events emitted so far.
+func (b *Bus) Count() uint64 {
+	if b == nil {
+		return 0
+	}
+	return b.count.Load()
+}

@@ -1,0 +1,73 @@
+package telemetry
+
+// Recorder is a fixed-capacity ring buffer of the most recent events —
+// the flight recorder RunChaos dumps when a run ends anomalously. The
+// buffer is allocated once up front; recording never allocates.
+type Recorder struct {
+	buf    []Event
+	next   int
+	n      int
+	filter func(Kind) bool
+}
+
+// NewRecorder returns a recorder keeping the last capacity events.
+// A non-nil filter restricts recording to kinds it accepts (the usual
+// configuration skips the per-packet transport events so the ring holds
+// control-plane history rather than the last few milliseconds of data
+// deliveries).
+func NewRecorder(capacity int, filter func(Kind) bool) *Recorder {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Recorder{buf: make([]Event, capacity), filter: filter}
+}
+
+// ControlPlaneOnly is the standard flight-recorder filter: everything
+// except per-packet transport events.
+func ControlPlaneOnly(k Kind) bool {
+	switch k {
+	case KindPacketSent, KindPacketDelivered, KindPacketLost:
+		return false
+	}
+	return true
+}
+
+// Sink returns the recording sink for Bus.Attach.
+func (r *Recorder) Sink() Sink {
+	return func(e Event) {
+		if r.filter != nil && !r.filter(e.Kind) {
+			return
+		}
+		r.buf[r.next] = e
+		r.next = (r.next + 1) % len(r.buf)
+		if r.n < len(r.buf) {
+			r.n++
+		}
+	}
+}
+
+// Len returns how many events the ring currently holds.
+func (r *Recorder) Len() int { return r.n }
+
+// Events returns the recorded events oldest-first (a copy).
+func (r *Recorder) Events() []Event {
+	out := make([]Event, 0, r.n)
+	start := r.next - r.n
+	if start < 0 {
+		start += len(r.buf)
+	}
+	for i := 0; i < r.n; i++ {
+		out = append(out, r.buf[(start+i)%len(r.buf)])
+	}
+	return out
+}
+
+// Dump renders the ring oldest-first with Event.Format.
+func (r *Recorder) Dump() []string {
+	evs := r.Events()
+	out := make([]string, len(evs))
+	for i, e := range evs {
+		out[i] = e.Format()
+	}
+	return out
+}

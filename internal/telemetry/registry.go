@@ -1,0 +1,309 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"sharqfec/internal/packet"
+	"sharqfec/internal/scoping"
+	"sharqfec/internal/topology"
+)
+
+// Key identifies one instrument in the registry: a metric name plus the
+// (node, zone, packet kind) dimensions the SHARQFEC experiments slice
+// by. Unused dimensions take their sentinels (NoNode, NoZone,
+// packet.TypeInvalid), so the same name can exist at several
+// granularities.
+type Key struct {
+	Name string
+	Node topology.NodeID
+	Zone scoping.ZoneID
+	Pkt  packet.Type
+}
+
+func (k Key) labels() string {
+	s := ""
+	sep := ""
+	if k.Node != topology.NoNode {
+		s += fmt.Sprintf("%snode=%q", sep, strconv.Itoa(int(k.Node)))
+		sep = ","
+	}
+	if k.Zone != scoping.NoZone {
+		s += fmt.Sprintf("%szone=%q", sep, strconv.Itoa(int(k.Zone)))
+		sep = ","
+	}
+	if k.Pkt != packet.TypeInvalid {
+		s += fmt.Sprintf("%skind=%q", sep, k.Pkt.String())
+	}
+	if s == "" {
+		return ""
+	}
+	return "{" + s + "}"
+}
+
+// Counter is a monotonically increasing integer, safe for concurrent
+// update (the udpmesh runner drives one agent per goroutine).
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a concurrently-settable float64.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram accumulates float64 observations into fixed buckets
+// (cumulative counts are computed at export, Prometheus-style).
+type Histogram struct {
+	bounds []float64 // upper bounds, ascending; +Inf bucket implicit
+	counts []atomic.Int64
+	sum    Gauge // running sum (single-writer in the simulator; racy sums are tolerable on live endpoints)
+	n      atomic.Int64
+}
+
+// NewHistogram returns a histogram with the given ascending upper
+// bounds.
+func NewHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.n.Add(1)
+	h.sum.Set(h.sum.Value() + v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.n.Load() }
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 { return h.sum.Value() }
+
+// Mean returns the average observation (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if n := h.n.Load(); n > 0 {
+		return h.sum.Value() / float64(n)
+	}
+	return 0
+}
+
+// Registry holds instruments by Key. Lookups take a mutex; hot paths
+// should cache the returned pointers (Metrics does) so steady-state
+// updates are lock-free atomic adds.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[Key]*Counter
+	gauges   map[Key]*Gauge
+	hists    map[Key]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[Key]*Counter),
+		gauges:   make(map[Key]*Gauge),
+		hists:    make(map[Key]*Histogram),
+	}
+}
+
+// Counter returns (creating if needed) the counter for k.
+func (r *Registry) Counter(k Key) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[k]
+	if c == nil {
+		c = &Counter{}
+		r.counters[k] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the gauge for k.
+func (r *Registry) Gauge(k Key) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[k]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[k] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the histogram for k, using
+// bounds only on creation.
+func (r *Registry) Histogram(k Key, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[k]
+	if h == nil {
+		h = NewHistogram(bounds)
+		r.hists[k] = h
+	}
+	return h
+}
+
+// SumCounters returns the sum of every counter named name, across all
+// dimension values.
+func (r *Registry) SumCounters(name string) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var t int64
+	for k, c := range r.counters {
+		if k.Name == name {
+			t += c.Value()
+		}
+	}
+	return t
+}
+
+// MaxGauge returns the maximum value among gauges named name and the
+// key that holds it (ok=false when none exist).
+func (r *Registry) MaxGauge(name string) (Key, float64, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var (
+		best  Key
+		bestV float64
+		found bool
+	)
+	for k, g := range r.gauges {
+		if k.Name != name {
+			continue
+		}
+		v := g.Value()
+		if !found || v > bestV || (v == bestV && keyLess(k, best)) {
+			best, bestV, found = k, v, true
+		}
+	}
+	return best, bestV, found
+}
+
+func (r *Registry) sortedCounterKeys() []Key {
+	keys := make([]Key, 0, len(r.counters))
+	for k := range r.counters {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keyLess(keys[i], keys[j]) })
+	return keys
+}
+
+func (r *Registry) sortedGaugeKeys() []Key {
+	keys := make([]Key, 0, len(r.gauges))
+	for k := range r.gauges {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keyLess(keys[i], keys[j]) })
+	return keys
+}
+
+func (r *Registry) sortedHistKeys() []Key {
+	keys := make([]Key, 0, len(r.hists))
+	for k := range r.hists {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keyLess(keys[i], keys[j]) })
+	return keys
+}
+
+func keyLess(a, b Key) bool {
+	if a.Name != b.Name {
+		return a.Name < b.Name
+	}
+	if a.Node != b.Node {
+		return a.Node < b.Node
+	}
+	if a.Zone != b.Zone {
+		return a.Zone < b.Zone
+	}
+	return a.Pkt < b.Pkt
+}
+
+// WritePrometheus renders the registry in Prometheus text exposition
+// format, keys sorted, every metric prefixed "sharqfec_".
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, k := range r.sortedCounterKeys() {
+		if _, err := fmt.Fprintf(w, "sharqfec_%s_total%s %d\n", k.Name, k.labels(), r.counters[k].Value()); err != nil {
+			return err
+		}
+	}
+	for _, k := range r.sortedGaugeKeys() {
+		if _, err := fmt.Fprintf(w, "sharqfec_%s%s %g\n", k.Name, k.labels(), r.gauges[k].Value()); err != nil {
+			return err
+		}
+	}
+	for _, k := range r.sortedHistKeys() {
+		h := r.hists[k]
+		cum := int64(0)
+		for i, ub := range h.bounds {
+			cum += h.counts[i].Load()
+			lbl := k.labels()
+			le := strconv.FormatFloat(ub, 'g', -1, 64)
+			if lbl == "" {
+				lbl = fmt.Sprintf("{le=%q}", le)
+			} else {
+				lbl = lbl[:len(lbl)-1] + fmt.Sprintf(",le=%q}", le)
+			}
+			if _, err := fmt.Fprintf(w, "sharqfec_%s_bucket%s %d\n", k.Name, lbl, cum); err != nil {
+				return err
+			}
+		}
+		lbl := k.labels()
+		if lbl == "" {
+			lbl = `{le="+Inf"}`
+		} else {
+			lbl = lbl[:len(lbl)-1] + `,le="+Inf"}`
+		}
+		if _, err := fmt.Fprintf(w, "sharqfec_%s_bucket%s %d\n", k.Name, lbl, h.Count()); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "sharqfec_%s_sum%s %g\n", k.Name, k.labels(), h.Sum()); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "sharqfec_%s_count%s %d\n", k.Name, k.labels(), h.Count()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Snapshot returns every counter and gauge as an expvar-style flat map:
+// "name{node=...,zone=...,kind=...}" → value. Histograms export their
+// count, sum and mean.
+func (r *Registry) Snapshot() map[string]any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]any, len(r.counters)+len(r.gauges)+3*len(r.hists))
+	for k, c := range r.counters {
+		out[k.Name+k.labels()] = c.Value()
+	}
+	for k, g := range r.gauges {
+		out[k.Name+k.labels()] = g.Value()
+	}
+	for k, h := range r.hists {
+		out[k.Name+k.labels()+".count"] = h.Count()
+		out[k.Name+k.labels()+".sum"] = h.Sum()
+		out[k.Name+k.labels()+".mean"] = h.Mean()
+	}
+	return out
+}

@@ -1,0 +1,172 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"sharqfec/internal/packet"
+	"sharqfec/internal/scoping"
+)
+
+// ZoneSample is one row of the per-zone timeline: cumulative totals for
+// one zone at one snapshot instant of the virtual clock. The Zone = -1
+// row aggregates the whole session (and is the only row carrying the
+// network-wide drop counters), so the final aggregate row matches the
+// end-of-run report totals.
+type ZoneSample struct {
+	T     float64 `json:"t"`
+	Zone  int     `json:"zone"`
+	Depth int     `json:"depth"`
+
+	// Deliveries at this scope, by packet kind, and total bytes.
+	DataPkts    int64 `json:"data_pkts"`
+	RepairPkts  int64 `json:"repair_pkts"`
+	NACKPkts    int64 `json:"nack_pkts"`
+	SessionPkts int64 `json:"session_pkts"`
+	Bytes       int64 `json:"bytes"`
+
+	// Control-plane tallies.
+	NACKsSent        int64   `json:"nacks_sent"`
+	NACKsSuppressed  int64   `json:"nacks_suppressed"`
+	SuppressionRatio float64 `json:"suppression_ratio"`
+	RepairsSent      int64   `json:"repairs_sent"`
+	RepairsInjected  int64   `json:"repairs_injected"`
+	LossesDetected   int64   `json:"losses_detected"`
+	NACKsPerLoss     float64 `json:"nacks_per_loss"`
+	GroupsDecoded    int64   `json:"groups_decoded"`
+	DecodeLatencyMean float64 `json:"decode_latency_mean_s"`
+	Elections        int64   `json:"zcr_elections"`
+
+	// Aggregate-row-only fields (zero on per-zone rows).
+	FaultDrops      int64   `json:"fault_drops"`
+	LocalRepairFrac float64 `json:"local_repair_frac"`
+}
+
+// Sampler turns a Metrics bridge into a per-zone time series: each
+// Sample call appends one row per zone plus the aggregate row, all
+// cumulative since the start of the run. Rows are appended in zone
+// order, so two runs with identical seeds produce byte-identical
+// exports.
+type Sampler struct {
+	m    *Metrics
+	rows []ZoneSample
+}
+
+// NewSampler returns a sampler over m.
+func NewSampler(m *Metrics) *Sampler { return &Sampler{m: m} }
+
+// Sample captures one snapshot at virtual time t.
+func (s *Sampler) Sample(t float64) {
+	var agg ZoneSample
+	agg.T = t
+	agg.Zone = -1
+	agg.Depth = -1
+	for z := range s.m.zones {
+		c := &s.m.zones[z]
+		row := ZoneSample{
+			T:               t,
+			Zone:            z,
+			Depth:           s.m.h.Level(scoping.ZoneID(z)),
+			DataPkts:        c.deliveredPkts[packet.TypeData].Value(),
+			RepairPkts:      c.deliveredPkts[packet.TypeRepair].Value(),
+			NACKPkts:        c.deliveredPkts[packet.TypeNACK].Value(),
+			SessionPkts:     c.deliveredPkts[packet.TypeSession].Value(),
+			NACKsSent:       c.nacksSent.Value(),
+			NACKsSuppressed: c.nacksSupp.Value(),
+			RepairsSent:     c.repairsSent.Value(),
+			RepairsInjected: c.repairsInj.Value(),
+			LossesDetected:  c.losses.Value(),
+			GroupsDecoded:   c.decoded.Value(),
+			Elections:       c.elections.Value(),
+		}
+		for pt := 1; pt < numPktTypes; pt++ {
+			row.Bytes += c.deliveredBytes[pt].Value()
+		}
+		if n := c.nacksSent.Value() + c.nacksSupp.Value(); n > 0 {
+			row.SuppressionRatio = float64(c.nacksSupp.Value()) / float64(n)
+		}
+		if row.LossesDetected > 0 {
+			row.NACKsPerLoss = float64(row.NACKsSent) / float64(row.LossesDetected)
+		}
+		row.DecodeLatencyMean = c.decodeLat.Mean()
+		s.rows = append(s.rows, row)
+
+		agg.DataPkts += row.DataPkts
+		agg.RepairPkts += row.RepairPkts
+		agg.NACKPkts += row.NACKPkts
+		agg.SessionPkts += row.SessionPkts
+		agg.Bytes += row.Bytes
+		agg.NACKsSent += row.NACKsSent
+		agg.NACKsSuppressed += row.NACKsSuppressed
+		agg.RepairsSent += row.RepairsSent
+		agg.RepairsInjected += row.RepairsInjected
+		agg.LossesDetected += row.LossesDetected
+		agg.GroupsDecoded += row.GroupsDecoded
+		agg.Elections += row.Elections
+	}
+	if n := agg.NACKsSent + agg.NACKsSuppressed; n > 0 {
+		agg.SuppressionRatio = float64(agg.NACKsSuppressed) / float64(n)
+	}
+	if agg.LossesDetected > 0 {
+		agg.NACKsPerLoss = float64(agg.NACKsSent) / float64(agg.LossesDetected)
+	}
+	var latSum float64
+	var latN int64
+	for z := range s.m.zones {
+		latSum += s.m.zones[z].decodeLat.Sum()
+		latN += s.m.zones[z].decodeLat.Count()
+	}
+	if latN > 0 {
+		agg.DecodeLatencyMean = latSum / float64(latN)
+	}
+	agg.FaultDrops = s.m.faultDrops.Value()
+	if local, global := s.m.RepairLocalization(); local+global > 0 {
+		agg.LocalRepairFrac = float64(local) / float64(local+global)
+	}
+	s.rows = append(s.rows, agg)
+}
+
+// Rows returns every sampled row, oldest snapshot first.
+func (s *Sampler) Rows() []ZoneSample { return s.rows }
+
+// Last returns the aggregate row of the most recent snapshot (ok=false
+// before the first Sample).
+func (s *Sampler) Last() (ZoneSample, bool) {
+	for i := len(s.rows) - 1; i >= 0; i-- {
+		if s.rows[i].Zone == -1 {
+			return s.rows[i], true
+		}
+	}
+	return ZoneSample{}, false
+}
+
+// csvHeader lists the CSV columns, in struct order.
+const csvHeader = "t,zone,depth,data_pkts,repair_pkts,nack_pkts,session_pkts,bytes," +
+	"nacks_sent,nacks_suppressed,suppression_ratio,repairs_sent,repairs_injected," +
+	"losses_detected,nacks_per_loss,groups_decoded,decode_latency_mean_s," +
+	"zcr_elections,fault_drops,local_repair_frac"
+
+// WriteCSV renders rows as CSV with a header line.
+func WriteCSV(w io.Writer, rows []ZoneSample) error {
+	if _, err := fmt.Fprintln(w, csvHeader); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		_, err := fmt.Fprintf(w, "%.4f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.6f,%d,%d,%d,%.6f,%d,%.6f,%d,%d,%.6f\n",
+			r.T, r.Zone, r.Depth, r.DataPkts, r.RepairPkts, r.NACKPkts, r.SessionPkts, r.Bytes,
+			r.NACKsSent, r.NACKsSuppressed, r.SuppressionRatio, r.RepairsSent, r.RepairsInjected,
+			r.LossesDetected, r.NACKsPerLoss, r.GroupsDecoded, r.DecodeLatencyMean,
+			r.Elections, r.FaultDrops, r.LocalRepairFrac)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders rows as a single JSON array.
+func WriteJSON(w io.Writer, rows []ZoneSample) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(rows)
+}

@@ -6,6 +6,7 @@ import (
 	"sharqfec/internal/netsim"
 	"sharqfec/internal/scoping"
 	"sharqfec/internal/simrand"
+	"sharqfec/internal/telemetry"
 	"sharqfec/internal/topology"
 )
 
@@ -66,10 +67,17 @@ func RunReceiverReports(seed uint64) (*ReceiverReportResult, error) {
 		SourceMembers:   int(members),
 		Receivers:       len(spec.Receivers),
 	}
+	// Ground truth goes through the telemetry registry — one gauge per
+	// receiver — so the "actual worst" is the same query a live metrics
+	// endpoint would answer.
+	reg := telemetry.NewRegistry()
 	for _, m := range spec.Receivers {
-		if f := agents[m].RawLossFraction(); f > res.TrueWorstLoss {
-			res.TrueWorstLoss = f
-		}
+		reg.Gauge(telemetry.Key{
+			Name: "raw_loss_fraction", Node: m, Zone: scoping.NoZone,
+		}).Set(agents[m].RawLossFraction())
+	}
+	if _, worst, ok := reg.MaxGauge("raw_loss_fraction"); ok {
+		res.TrueWorstLoss = worst
 	}
 	res.DirectReporters = agents[spec.Source].Session().ReportersHeard(h.Root())
 	return res, nil

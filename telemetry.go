@@ -1,0 +1,160 @@
+package sharqfec
+
+import (
+	"fmt"
+	"io"
+
+	"sharqfec/internal/eventq"
+	"sharqfec/internal/scoping"
+	"sharqfec/internal/telemetry"
+)
+
+// TelemetryConfig turns on the observability layer for a run. A nil
+// *TelemetryConfig disables telemetry entirely: no bus is created, no
+// snapshot events are scheduled, and the run is byte-identical to one
+// on a build without the layer. A non-nil config always builds the
+// metrics registry and per-zone time series; the trace and flight
+// recorder are opt-in on top.
+type TelemetryConfig struct {
+	// Events, when non-nil, receives a JSONL trace of every protocol
+	// event (one object per line).
+	Events io.Writer
+	// MetricsInterval is the virtual-clock spacing of time-series
+	// snapshots in seconds (default 1.0). A final snapshot is always
+	// taken at the end of the run.
+	MetricsInterval float64
+	// FlightRecorder, when > 0, keeps a ring of the last N
+	// control-plane events for post-mortem dumps.
+	FlightRecorder int
+}
+
+// TelemetryReport is what a telemetry-enabled run hands back: end-of-run
+// totals derived from the metrics registry plus the sampled per-zone
+// time series.
+type TelemetryReport struct {
+	// EventsEmitted counts every event the bus fanned out;
+	// EventsWritten counts JSONL lines successfully written (0 when no
+	// Events writer was configured).
+	EventsEmitted, EventsWritten uint64
+	// SuppressionRatio is suppressed/(suppressed+sent) NACKs over the
+	// whole session.
+	SuppressionRatio float64
+	// LocalRepairFrac is the fraction of repair deliveries under a
+	// non-root scope.
+	LocalRepairFrac float64
+	// NACKsSent / RepairsSent are registry totals across all zones.
+	NACKsSent, RepairsSent int64
+	// FaultDrops counts packets dropped on administratively-down links.
+	FaultDrops int64
+
+	rows   []telemetry.ZoneSample
+	flight []string
+}
+
+// NumSamples returns how many time-series snapshots were taken.
+func (r *TelemetryReport) NumSamples() int {
+	n := 0
+	for _, row := range r.rows {
+		if row.Zone == -1 {
+			n++
+		}
+	}
+	return n
+}
+
+// WriteMetricsCSV renders the per-zone time series as CSV (one row per
+// zone per snapshot, plus a Zone=-1 aggregate row per snapshot).
+func (r *TelemetryReport) WriteMetricsCSV(w io.Writer) error {
+	return telemetry.WriteCSV(w, r.rows)
+}
+
+// WriteMetricsJSON renders the same series as a JSON array.
+func (r *TelemetryReport) WriteMetricsJSON(w io.Writer) error {
+	return telemetry.WriteJSON(w, r.rows)
+}
+
+// FlightRecord returns the recorded control-plane tail (nil when the
+// flight recorder was off).
+func (r *TelemetryReport) FlightRecord() []string { return r.flight }
+
+// telemetryRun bundles the live pieces a run wires together: the bus the
+// protocol layers emit into, and the sinks consuming it.
+type telemetryRun struct {
+	bus     *telemetry.Bus
+	metrics *telemetry.Metrics
+	sampler *telemetry.Sampler
+	events  *telemetry.EventWriter
+	rec     *telemetry.Recorder
+}
+
+// busOf returns the run's bus, nil-safe, for wiring into configs that
+// accept a possibly-nil *telemetry.Bus.
+func (t *telemetryRun) busOf() *telemetry.Bus {
+	if t == nil {
+		return nil
+	}
+	return t.bus
+}
+
+// startTelemetry builds the bus, sinks and snapshot schedule for one
+// run. A nil cfg returns nil and schedules nothing, so disabled runs
+// stay byte-identical. Snapshot events only read atomic counters, so
+// inserting them cannot perturb protocol-event ordering.
+func startTelemetry(cfg *TelemetryConfig, q *eventq.Queue, h *scoping.Hierarchy,
+	numNodes int, until float64) *telemetryRun {
+
+	if cfg == nil {
+		return nil
+	}
+	t := &telemetryRun{bus: telemetry.NewBus()}
+	t.metrics = telemetry.NewMetrics(nil, h, numNodes)
+	t.bus.Attach(t.metrics.Sink())
+	t.sampler = telemetry.NewSampler(t.metrics)
+	if cfg.Events != nil {
+		t.events = telemetry.NewEventWriter(cfg.Events)
+		t.bus.Attach(t.events.Sink())
+	}
+	if cfg.FlightRecorder > 0 {
+		t.rec = telemetry.NewRecorder(cfg.FlightRecorder, telemetry.ControlPlaneOnly)
+		t.bus.Attach(t.rec.Sink())
+	}
+	iv := cfg.MetricsInterval
+	if iv <= 0 {
+		iv = 1.0
+	}
+	for k := 1; float64(k)*iv < until; k++ {
+		at := float64(k) * iv
+		q.At(eventq.Time(at), func(eventq.Time) { t.sampler.Sample(at) })
+	}
+	return t
+}
+
+// finish takes the final snapshot, flushes the event trace, and builds
+// the report. The returned error surfaces any JSONL write failure.
+func (t *telemetryRun) finish(until float64) (*TelemetryReport, error) {
+	if t == nil {
+		return nil, nil
+	}
+	t.sampler.Sample(until)
+	rep := &TelemetryReport{
+		EventsEmitted:    t.bus.Count(),
+		SuppressionRatio: t.metrics.SuppressionRatio(),
+		NACKsSent:        t.metrics.NACKsSent(),
+		RepairsSent:      t.metrics.RepairsSent(),
+		FaultDrops:       t.metrics.FaultDrops(),
+		rows:             t.sampler.Rows(),
+	}
+	if local, global := t.metrics.RepairLocalization(); local+global > 0 {
+		rep.LocalRepairFrac = float64(local) / float64(local+global)
+	}
+	if t.rec != nil {
+		rep.flight = t.rec.Dump()
+	}
+	if t.events != nil {
+		rep.EventsWritten = t.events.Count()
+		if err := t.events.Flush(); err != nil {
+			return rep, fmt.Errorf("sharqfec: telemetry event trace: %w", err)
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,209 @@
+package sharqfec
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// telemetryRunConfig is the shared scenario for the facade tests: short
+// Figure-10 run with every exporter on.
+func telemetryRunConfig(events *bytes.Buffer) DataConfig {
+	return DataConfig{
+		Protocol:   SHARQFEC,
+		Seed:       11,
+		NumPackets: 128,
+		Until:      20,
+		Telemetry: &TelemetryConfig{
+			Events:          events,
+			MetricsInterval: 1,
+			FlightRecorder:  64,
+		},
+	}
+}
+
+// TestTelemetryDeterminism: two runs at the same seed must export
+// byte-identical JSONL event traces and CSV time series.
+func TestTelemetryDeterminism(t *testing.T) {
+	var ev1, ev2, csv1, csv2 bytes.Buffer
+	res1, err := RunData(telemetryRunConfig(&ev1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := RunData(telemetryRunConfig(&ev2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ev1.Bytes(), ev2.Bytes()) {
+		t.Error("JSONL event traces differ across identical seeds")
+	}
+	if err := res1.Telemetry.WriteMetricsCSV(&csv1); err != nil {
+		t.Fatal(err)
+	}
+	if err := res2.Telemetry.WriteMetricsCSV(&csv2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(csv1.Bytes(), csv2.Bytes()) {
+		t.Error("metrics CSV differs across identical seeds")
+	}
+	if res1.Telemetry.EventsEmitted == 0 || res1.Telemetry.EventsWritten == 0 {
+		t.Fatalf("no events flowed: %+v", res1.Telemetry)
+	}
+}
+
+// TestTelemetryPassive: attaching the full observability stack must not
+// change the protocol run — packet traces and report totals stay
+// byte-identical to a telemetry-free run at the same seed.
+func TestTelemetryPassive(t *testing.T) {
+	var traceOff, traceOn, ev bytes.Buffer
+	off := telemetryRunConfig(nil)
+	off.Telemetry = nil
+	off.TraceWriter = &traceOff
+	resOff, err := RunData(off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	on := telemetryRunConfig(&ev)
+	on.TraceWriter = &traceOn
+	resOn, err := RunData(on)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(traceOff.Bytes(), traceOn.Bytes()) {
+		t.Error("telemetry perturbed the packet trace")
+	}
+	if resOff.NACKsSent != resOn.NACKsSent || resOff.RepairsSent != resOn.RepairsSent ||
+		resOff.CompletionRate != resOn.CompletionRate {
+		t.Errorf("telemetry perturbed totals: off %d/%d/%g on %d/%d/%g",
+			resOff.NACKsSent, resOff.RepairsSent, resOff.CompletionRate,
+			resOn.NACKsSent, resOn.RepairsSent, resOn.CompletionRate)
+	}
+	if resOff.Telemetry != nil {
+		t.Error("telemetry report present on a disabled run")
+	}
+}
+
+// TestTelemetryConsistentWithReport: the final aggregate row of the
+// time series must agree with the end-of-run report totals, and the
+// JSONL trace must parse line by line.
+func TestTelemetryConsistentWithReport(t *testing.T) {
+	var ev bytes.Buffer
+	res, err := RunData(telemetryRunConfig(&ev))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel := res.Telemetry
+
+	var csv bytes.Buffer
+	if err := tel.WriteMetricsCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	last := strings.Split(lines[len(lines)-1], ",")
+	header := strings.Split(lines[0], ",")
+	if len(last) != len(header) {
+		t.Fatalf("ragged CSV: %d columns vs %d header fields", len(last), len(header))
+	}
+	col := func(name string) string {
+		for i, h := range header {
+			if h == name {
+				return last[i]
+			}
+		}
+		t.Fatalf("no column %q", name)
+		return ""
+	}
+	if col("zone") != "-1" {
+		t.Fatalf("final row is not the aggregate: zone=%s", col("zone"))
+	}
+	if got := col("nacks_sent"); got != itoa(res.NACKsSent) {
+		t.Errorf("CSV nacks_sent %s != report %d", got, res.NACKsSent)
+	}
+	if got := col("repairs_sent"); got != itoa(res.RepairsSent) {
+		t.Errorf("CSV repairs_sent %s != report %d", got, res.RepairsSent)
+	}
+	if got := col("session_pkts"); got != itoa(res.SessionPackets) {
+		t.Errorf("CSV session_pkts %s != report %d", got, res.SessionPackets)
+	}
+	if tel.NACKsSent != int64(res.NACKsSent) || tel.RepairsSent != int64(res.RepairsSent) {
+		t.Errorf("registry totals %d/%d != report %d/%d",
+			tel.NACKsSent, tel.RepairsSent, res.NACKsSent, res.RepairsSent)
+	}
+	if tel.SuppressionRatio <= 0 || tel.SuppressionRatio >= 1 {
+		t.Errorf("implausible suppression ratio %g", tel.SuppressionRatio)
+	}
+	if tel.LocalRepairFrac <= 0 {
+		t.Errorf("no repair localization measured: %g", tel.LocalRepairFrac)
+	}
+
+	sc := bufio.NewScanner(&ev)
+	n := 0
+	for sc.Scan() {
+		var obj map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &obj); err != nil {
+			t.Fatalf("bad JSONL line %d: %v\n%s", n+1, err, sc.Text())
+		}
+		for _, field := range []string{"t", "ev", "node"} {
+			if _, ok := obj[field]; !ok {
+				t.Fatalf("line %d missing %q: %s", n+1, field, sc.Text())
+			}
+		}
+		n++
+	}
+	if uint64(n) != tel.EventsWritten {
+		t.Fatalf("trace has %d lines, writer reports %d", n, tel.EventsWritten)
+	}
+}
+
+// TestChaosRegistryBackedCounters: RunChaos's result counters now come
+// from the telemetry registry; a nominal run must still report sane
+// totals and keep the flight record empty.
+func TestChaosRegistryBackedCounters(t *testing.T) {
+	res, err := RunChaos(ChaosConfig{Seed: 5, NumPackets: 64, Until: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NACKsSent <= 0 || res.RepairsSent <= 0 {
+		t.Fatalf("registry counters empty: %d NACKs, %d repairs", res.NACKsSent, res.RepairsSent)
+	}
+	if res.LocalRepairFrac <= 0 || res.LocalRepairFrac > 1 {
+		t.Fatalf("localization out of range: %g", res.LocalRepairFrac)
+	}
+	if res.Telemetry == nil || res.Telemetry.EventsEmitted == 0 {
+		t.Fatal("chaos run carried no telemetry")
+	}
+	if res.CompletionRate == 1 && res.Verified && res.FlightRecord != nil {
+		t.Fatal("flight record dumped on a nominal run")
+	}
+}
+
+// TestChaosFlightRecorderDumpsOnAnomaly: crashing the source
+// mid-stream strands the untransmitted groups, so the surviving
+// receivers cannot complete and the flight recorder must dump.
+func TestChaosFlightRecorderDumpsOnAnomaly(t *testing.T) {
+	res, err := RunChaos(ChaosConfig{
+		Seed:       5,
+		NumPackets: 64,
+		Until:      30,
+		Faults:     NewFaultPlan().Crash(6.2, 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CompletionRate >= 1 {
+		t.Skipf("partition did not prevent completion (%.3f); scenario lost its teeth", res.CompletionRate)
+	}
+	if len(res.FlightRecord) == 0 {
+		t.Fatal("anomalous run dumped no flight record")
+	}
+	for _, line := range res.FlightRecord {
+		if strings.TrimSpace(line) == "" {
+			t.Fatal("empty flight-record line")
+		}
+	}
+}
+
+func itoa(n int) string { return strconv.Itoa(n) }
