@@ -9,6 +9,7 @@ package sharqfec
 // reported metrics.
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"testing"
@@ -17,6 +18,8 @@ import (
 	"sharqfec/internal/eventq"
 	"sharqfec/internal/fec"
 	"sharqfec/internal/packet"
+	"sharqfec/internal/telemetry"
+	"sharqfec/internal/telemetry/spans"
 	"sharqfec/internal/topology"
 )
 
@@ -495,4 +498,49 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 	b.Run("metrics+events", func(b *testing.B) {
 		run(b, &TelemetryConfig{MetricsInterval: 1, Events: io.Discard})
 	})
+	b.Run("metrics+spans", func(b *testing.B) {
+		run(b, &TelemetryConfig{MetricsInterval: 1, Spans: true})
+	})
+}
+
+// --- E16: causal recovery tracing ---
+
+// BenchmarkSpanAssembly isolates the span assembler itself: the event
+// stream of one seeded Figure-10 run is captured once, then replayed
+// through a fresh assembler per iteration. ns/op and allocs/op bound
+// what TelemetryConfig.Spans adds per protocol event.
+func BenchmarkSpanAssembly(b *testing.B) {
+	var buf bytes.Buffer
+	res, err := RunData(DataConfig{
+		Protocol:   SHARQFEC,
+		Seed:       1,
+		NumPackets: 128,
+		Until:      20,
+		Telemetry:  &TelemetryConfig{Events: &buf},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	events := make([]telemetry.Event, 0, res.Telemetry.EventsWritten)
+	for _, line := range bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n")) {
+		e, err := telemetry.ParseEventLine(line)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events = append(events, e)
+	}
+
+	var nspans int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := spans.NewAssembler()
+		sink := a.Sink()
+		for _, e := range events {
+			sink(e)
+		}
+		nspans = len(a.Spans())
+	}
+	b.ReportMetric(float64(len(events))/float64(b.Elapsed().Nanoseconds())*float64(b.N)*1e3, "events/µs")
+	b.ReportMetric(float64(nspans), "spans")
 }

@@ -173,9 +173,10 @@ type ChaosConfig struct {
 	// Faults defaults to ZCRCrashPlan().
 	Faults *FaultPlan
 	// Telemetry configures extra exports (JSONL trace, snapshot
-	// interval, ring size). RunChaos keeps a bus, metrics registry and
-	// 512-event flight recorder running even when this is nil — its
-	// result counters are registry-backed.
+	// interval, ring size). RunChaos keeps a bus, metrics registry,
+	// span assembler and 512-event flight recorder running even when
+	// this is nil — its result counters are registry-backed, and
+	// anomalous endings dump a span ledger with the event tail.
 	Telemetry *TelemetryConfig
 }
 
@@ -287,6 +288,10 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 	if tcfg.FlightRecorder <= 0 {
 		tcfg.FlightRecorder = 512
 	}
+	// Chaos runs are exactly where causal recovery spans earn their keep:
+	// always assemble them, so anomalous endings can report which zone
+	// and mechanism each stranded loss died in.
+	tcfg.Spans = true
 	tel := startTelemetry(&tcfg, &q, h, spec.Graph.NumNodes(), cfg.Until)
 	net.SetTelemetry(tel.bus)
 
@@ -306,6 +311,10 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 	completed := make(map[nodeGroup]bool)
 	verified := true
 	agents := make(map[topology.NodeID]*core.Agent, len(spec.Receivers)+1)
+	// allAgents keeps every agent ever created (creation order), including
+	// crashed ones a restart replaced in the map: their stranded losses
+	// still need terminal loss_unrecovered events at session end.
+	var allAgents []*core.Agent
 	var sourceAgent *core.Agent
 	wire := func(m topology.NodeID, ag *core.Agent) {
 		ag.OnComplete = func(_ eventq.Time, gid uint32, data [][]byte) {
@@ -324,6 +333,7 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 			return nil, err
 		}
 		agents[m] = ag
+		allAgents = append(allAgents, ag)
 		if m == spec.Source {
 			sourceAgent = ag
 			continue
@@ -382,6 +392,7 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 			return
 		}
 		agents[node] = ag
+		allAgents = append(allAgents, ag)
 		wire(node, ag)
 		delete(gone, node)
 		ag.JoinLate()
@@ -425,6 +436,12 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 		res.FaultLog = append(res.FaultLog, fmt.Sprintf("%s %s", a.At, a.Desc))
 	}
 
+	// Close the books before the final snapshot: every loss that never
+	// decoded gets its terminal event so no recovery span stays open.
+	for _, ag := range allAgents {
+		ag.EmitUnrecoveredLosses(q.Now())
+	}
+
 	// Traffic counters come straight from the registry — the hand-rolled
 	// delivery tap and per-agent tallies this replaced double-counted
 	// nothing the event stream doesn't already carry.
@@ -439,6 +456,12 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 	res.RepairsSent = int(rep.RepairsSent)
 	if res.CompletionRate < 1 || !res.Verified {
 		res.FlightRecord = tel.rec.Dump()
+		// Lead the dump with the span ledger: how many losses closed, by
+		// which mechanism, and how many died open — the summary a post-
+		// mortem reads before the raw event tail.
+		if rr := rep.RecoveryReport(); rr != nil {
+			res.FlightRecord = append(rr.SummaryLines(), res.FlightRecord...)
+		}
 	}
 	return res, nil
 }

@@ -24,6 +24,11 @@
 //	                   file (CSV, or a JSON array when the file name
 //	                   ends in .json)
 //	-metrics-interval  virtual seconds between snapshots (default 1)
+//	-spans             assemble causal recovery spans and print the
+//	                   per-zone recovery-latency report
+//	-perfetto          write the recovery spans as Chrome trace-event
+//	                   JSON (Perfetto / chrome://tracing); implies -spans
+//	-flight-recorder   keep a ring of the last N control-plane events
 package main
 
 import (
@@ -53,6 +58,9 @@ func main() {
 	eventsPath := flag.String("trace-events", "", "write a JSONL protocol-event trace to this file")
 	metricsPath := flag.String("metrics-out", "", "write per-zone metrics time series to this file (.json for JSON, else CSV)")
 	metricsInterval := flag.Float64("metrics-interval", 1, "virtual seconds between metrics snapshots")
+	spansFlag := flag.Bool("spans", false, "assemble causal recovery spans and print the recovery report")
+	perfettoPath := flag.String("perfetto", "", "write recovery spans as Chrome trace-event JSON (implies -spans)")
+	flightRec := flag.Int("flight-recorder", 0, "keep a ring of the last N control-plane events")
 	flag.Parse()
 
 	proto, err := sharqfec.ParseProtocol(*protoFlag)
@@ -91,9 +99,14 @@ func main() {
 		}
 		cfg.Faults = plan
 	}
+	wantSpans := *spansFlag || *perfettoPath != ""
 	var eventsFile *os.File
-	if *eventsPath != "" || *metricsPath != "" {
-		cfg.Telemetry = &sharqfec.TelemetryConfig{MetricsInterval: *metricsInterval}
+	if *eventsPath != "" || *metricsPath != "" || wantSpans || *flightRec > 0 {
+		cfg.Telemetry = &sharqfec.TelemetryConfig{
+			MetricsInterval: *metricsInterval,
+			Spans:           wantSpans,
+			FlightRecorder:  *flightRec,
+		}
 		if *eventsPath != "" {
 			f, err := os.Create(*eventsPath)
 			if err != nil {
@@ -114,6 +127,19 @@ func main() {
 	}
 	if *metricsPath != "" {
 		if err := writeMetrics(*metricsPath, res.Telemetry); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *perfettoPath != "" {
+		f, err := os.Create(*perfettoPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		err = res.Telemetry.WritePerfetto(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -143,6 +169,10 @@ func main() {
 			t.EventsEmitted, t.EventsWritten, t.NumSamples())
 		fmt.Printf("NACK suppression:      %.1f%%\n", 100*t.SuppressionRatio)
 		fmt.Printf("zone-local repairs:    %.1f%%\n", 100*t.LocalRepairFrac)
+		if wantSpans {
+			fmt.Println()
+			fmt.Print(t.RecoveryReport().String())
+		}
 	}
 
 	if *series {

@@ -1,0 +1,80 @@
+// Command sharqfec-trace replays a JSONL protocol-event trace (as
+// written by sharqfec-sim -trace-events) offline and prints the same
+// causal recovery-span report the live run produced — no simulator, no
+// topology file: the trace preamble carries the zone hierarchy.
+//
+// Usage:
+//
+//	sharqfec-trace [flags] <trace.jsonl | ->
+//
+//	-spans     also list every recovery span, one line each
+//	-perfetto  write the spans as Chrome trace-event JSON loadable in
+//	           Perfetto / chrome://tracing
+//
+// A trace file of "-" reads from stdin. The exit status is non-zero
+// when the trace is malformed or span accounting is broken (a loss
+// without a terminal decode / loss_unrecovered event).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"sharqfec/internal/analysis"
+	"sharqfec/internal/telemetry/spans"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sharqfec-trace: ")
+
+	listSpans := flag.Bool("spans", false, "list every recovery span, one line each")
+	perfettoPath := flag.String("perfetto", "", "write recovery spans as Chrome trace-event JSON")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		log.Fatal("usage: sharqfec-trace [-spans] [-perfetto out.json] <trace.jsonl | ->")
+	}
+	var in io.Reader = os.Stdin
+	if name := flag.Arg(0); name != "-" {
+		f, err := os.Open(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	asm, err := spans.Replay(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := analysis.BuildRecoveryReport(asm)
+	fmt.Print(rep.String())
+
+	if *listSpans {
+		fmt.Println()
+		for _, s := range asm.Spans() {
+			fmt.Println(s.Format())
+		}
+	}
+	if *perfettoPath != "" {
+		f, err := os.Create(*perfettoPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		err = spans.WritePerfetto(f, asm.Spans(), asm.View())
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	if rep.OpenSpans > 0 {
+		log.Fatalf("span accounting broken: %d spans never saw a terminal event", rep.OpenSpans)
+	}
+}

@@ -164,6 +164,11 @@ func runSHARQFEC(cfg DataConfig, opts core.Options) (*DataResult, error) {
 	}
 
 	agents := make(map[topology.NodeID]*core.Agent, len(spec.Receivers)+1)
+	// allAgents keeps every agent ever created — including those
+	// replaced by a fault-engine restart — in creation order, so the
+	// end-of-run unrecovered-loss sweep covers crashed agents' stranded
+	// losses deterministically.
+	var allAgents []*core.Agent
 	verified := true
 	completions := 0
 	var sourceAgent *core.Agent
@@ -187,6 +192,7 @@ func runSHARQFEC(cfg DataConfig, opts core.Options) (*DataResult, error) {
 			return nil, err
 		}
 		agents[m] = ag
+		allAgents = append(allAgents, ag)
 		if m == spec.Source {
 			sourceAgent = ag
 			continue
@@ -212,6 +218,7 @@ func runSHARQFEC(cfg DataConfig, opts core.Options) (*DataResult, error) {
 				return
 			}
 			agents[node] = ag
+			allAgents = append(allAgents, ag)
 			wire(ag)
 			ag.JoinLate()
 		}
@@ -235,6 +242,11 @@ func runSHARQFEC(cfg DataConfig, opts core.Options) (*DataResult, error) {
 	if tracer != nil {
 		if err := tracer.Flush(); err != nil {
 			return nil, fmt.Errorf("sharqfec: packet trace: %w", err)
+		}
+	}
+	if tel != nil {
+		for _, ag := range allAgents {
+			ag.EmitUnrecoveredLosses(q.Now())
 		}
 	}
 
@@ -289,12 +301,14 @@ func runSRM(cfg DataConfig) (*DataResult, error) {
 	pcfg.Telemetry = tel.busOf()
 
 	agents := make(map[topology.NodeID]*srm.Agent, len(spec.Receivers)+1)
+	var allAgents []*srm.Agent // creation order, restarts included (see runSHARQFEC)
 	for _, m := range spec.Members() {
 		ag, err := srm.New(m, net, pcfg, src)
 		if err != nil {
 			return nil, err
 		}
 		agents[m] = ag
+		allAgents = append(allAgents, ag)
 	}
 
 	var eng *faults.Engine
@@ -315,6 +329,7 @@ func runSRM(cfg DataConfig) (*DataResult, error) {
 				return
 			}
 			agents[node] = ag
+			allAgents = append(allAgents, ag)
 			ag.Join()
 		}
 		eng.OnLeave = func(_ eventq.Time, node topology.NodeID) {
@@ -337,6 +352,11 @@ func runSRM(cfg DataConfig) (*DataResult, error) {
 	if tracer != nil {
 		if err := tracer.Flush(); err != nil {
 			return nil, fmt.Errorf("sharqfec: packet trace: %w", err)
+		}
+	}
+	if tel != nil {
+		for _, ag := range allAgents {
+			ag.EmitUnrecoveredLosses(q.Now())
 		}
 	}
 

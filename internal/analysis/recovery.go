@@ -1,0 +1,198 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sharqfec/internal/scoping"
+	"sharqfec/internal/telemetry/spans"
+)
+
+// ZoneRecovery summarizes the recovery spans blamed on one zone (or,
+// for the per-level rows, on all zones of one hierarchy level).
+type ZoneRecovery struct {
+	Zone  scoping.ZoneID // NoZone on level rows
+	Level int
+	Spans int
+
+	// Exact (nearest-rank) percentiles and mean of recovery latency in
+	// virtual seconds, over the recovered spans blamed here.
+	P50, P95, P99, Mean float64
+	// MeanHops is the average requester→repairer routing-tree distance.
+	MeanHops float64
+}
+
+// RecoveryReport aggregates a run's recovery spans into the per-zone /
+// per-level latency views the paper's localization figures are about.
+// Build one with BuildRecoveryReport; String renders it determin-
+// istically, so live assembly and offline trace replay can be compared
+// byte for byte.
+type RecoveryReport struct {
+	Spans       int
+	Recovered   int
+	Unrecovered int
+	LateData    int
+	LossEvents  uint64
+	OpenSpans   int
+
+	// ByMechanism counts recovered spans per resolving mechanism,
+	// indexed by spans.Mechanism.
+	ByMechanism [4]int
+
+	Zones  []ZoneRecovery // per blame zone, ascending zone id
+	Levels []ZoneRecovery // per blame level, ascending level
+	// Unattributed holds the recovered spans with no blame zone
+	// (cross-group decodes).
+	Unattributed ZoneRecovery
+}
+
+// percentile returns the nearest-rank q-th percentile of sorted values
+// (0 when empty).
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.999999) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+type latAccum struct {
+	lats []float64
+	hops int64
+}
+
+func (la *latAccum) summarize(zr *ZoneRecovery) {
+	zr.Spans = len(la.lats)
+	if zr.Spans == 0 {
+		return
+	}
+	sort.Float64s(la.lats)
+	zr.P50 = percentile(la.lats, 0.50)
+	zr.P95 = percentile(la.lats, 0.95)
+	zr.P99 = percentile(la.lats, 0.99)
+	var sum float64
+	for _, v := range la.lats {
+		sum += v
+	}
+	zr.Mean = sum / float64(zr.Spans)
+	zr.MeanHops = float64(la.hops) / float64(zr.Spans)
+}
+
+// BuildRecoveryReport folds an assembler's closed spans into the
+// report.
+func BuildRecoveryReport(a *spans.Assembler) *RecoveryReport {
+	r := &RecoveryReport{
+		LossEvents: a.LossEvents(),
+		OpenSpans:  a.Open(),
+	}
+	view := a.View()
+	byZone := map[scoping.ZoneID]*latAccum{}
+	byLevel := map[int]*latAccum{}
+	var unatt latAccum
+	for _, s := range a.Spans() {
+		r.Spans++
+		if s.LateData {
+			r.LateData++
+		}
+		if !s.Recovered {
+			r.Unrecovered++
+			continue
+		}
+		r.Recovered++
+		r.ByMechanism[s.Mechanism]++
+		if s.BlameZone == scoping.NoZone {
+			unatt.lats = append(unatt.lats, s.Latency())
+			continue
+		}
+		za := byZone[s.BlameZone]
+		if za == nil {
+			za = &latAccum{}
+			byZone[s.BlameZone] = za
+		}
+		za.lats = append(za.lats, s.Latency())
+		za.hops += s.Hops
+		la := byLevel[s.BlameLevel]
+		if la == nil {
+			la = &latAccum{}
+			byLevel[s.BlameLevel] = la
+		}
+		la.lats = append(la.lats, s.Latency())
+		la.hops += s.Hops
+	}
+
+	zones := make([]scoping.ZoneID, 0, len(byZone))
+	for z := range byZone {
+		zones = append(zones, z)
+	}
+	sort.Slice(zones, func(i, j int) bool { return zones[i] < zones[j] })
+	for _, z := range zones {
+		zr := ZoneRecovery{Zone: z, Level: view.Level(z)}
+		byZone[z].summarize(&zr)
+		r.Zones = append(r.Zones, zr)
+	}
+	levels := make([]int, 0, len(byLevel))
+	for l := range byLevel {
+		levels = append(levels, l)
+	}
+	sort.Ints(levels)
+	for _, l := range levels {
+		zr := ZoneRecovery{Zone: scoping.NoZone, Level: l}
+		byLevel[l].summarize(&zr)
+		r.Levels = append(r.Levels, zr)
+	}
+	r.Unattributed.Zone = scoping.NoZone
+	r.Unattributed.Level = -1
+	unatt.summarize(&r.Unattributed)
+	return r
+}
+
+// SummaryLines returns the report's headline lines — the form appended
+// to chaos flight-recorder dumps.
+func (r *RecoveryReport) SummaryLines() []string {
+	lines := []string{
+		fmt.Sprintf("recovery spans: %d (%d recovered, %d unrecovered, %d late-data) from %d loss events, %d open",
+			r.Spans, r.Recovered, r.Unrecovered, r.LateData, r.LossEvents, r.OpenSpans),
+		fmt.Sprintf("mechanisms: arq %d, preemptive-fec %d, cross-group %d",
+			r.ByMechanism[spans.MechARQ], r.ByMechanism[spans.MechFEC], r.ByMechanism[spans.MechData]),
+	}
+	return lines
+}
+
+// String renders the full report: headline, mechanism split, and the
+// per-zone / per-level latency tables. Deterministic for a given span
+// set.
+func (r *RecoveryReport) String() string {
+	var b strings.Builder
+	for _, l := range r.SummaryLines() {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	row := func(tag string, zr ZoneRecovery) {
+		fmt.Fprintf(&b, "%-8s %5d  p50 %8.4fs  p95 %8.4fs  p99 %8.4fs  mean %8.4fs  hops %.2f\n",
+			tag, zr.Spans, zr.P50, zr.P95, zr.P99, zr.Mean, zr.MeanHops)
+	}
+	if len(r.Zones) > 0 {
+		b.WriteString("blame zone latency:\n")
+		for _, zr := range r.Zones {
+			row(fmt.Sprintf("z%d/l%d", zr.Zone, zr.Level), zr)
+		}
+	}
+	if len(r.Levels) > 0 {
+		b.WriteString("blame level latency:\n")
+		for _, zr := range r.Levels {
+			row(fmt.Sprintf("l%d", zr.Level), zr)
+		}
+	}
+	if r.Unattributed.Spans > 0 {
+		b.WriteString("unattributed (cross-group):\n")
+		row("-", r.Unattributed)
+	}
+	return b.String()
+}

@@ -1,0 +1,129 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"sharqfec/internal/packet"
+	"sharqfec/internal/scoping"
+	"sharqfec/internal/telemetry"
+	"sharqfec/internal/telemetry/spans"
+	"sharqfec/internal/topology"
+)
+
+// buildAssembler synthesizes a small run: two ARQ recoveries blamed on
+// zone 1 (level 1), one preemptive-FEC recovery blamed on zone 2
+// (level 2), one cross-group decode, one unrecovered late-data loss.
+func buildAssembler() *spans.Assembler {
+	a := spans.NewAssembler()
+	sink := a.Sink()
+	sink(telemetry.Event{Kind: telemetry.KindZoneInfo, Node: topology.NoNode, Zone: 0, Group: -1, A: -1, B: 0})
+	sink(telemetry.Event{Kind: telemetry.KindZoneInfo, Node: topology.NoNode, Zone: 1, Group: -1, A: 0, B: 1})
+	sink(telemetry.Event{Kind: telemetry.KindZoneInfo, Node: topology.NoNode, Zone: 2, Group: -1, A: 1, B: 2})
+
+	repair := func(t float64, node topology.NodeID, group int64, zone scoping.ZoneID, hops int64) {
+		sink(telemetry.Event{T: t, Kind: telemetry.KindPacketDelivered, Node: node, Zone: zone,
+			Group: group, A: int64(packet.TypeRepair), Origin: 0, Hops: hops})
+	}
+	// Two ARQ spans on node 1, groups 0 and 1, latencies 0.4 and 0.8.
+	for i, lat := range []float64{0.4, 0.8} {
+		g := int64(i)
+		sink(telemetry.Event{T: 1, Kind: telemetry.KindLossDetected, Node: 1, Group: g, A: g * 16})
+		sink(telemetry.Event{T: 1.1, Kind: telemetry.KindNACKSent, Node: 1, Group: g})
+		repair(1.2, 1, g, 1, 2)
+		sink(telemetry.Event{T: 1 + lat, Kind: telemetry.KindGroupDecoded, Node: 1, Group: g})
+	}
+	// One preemptive-FEC span on node 2, latency 0.2, blamed on zone 2.
+	repair(1.9, 2, 5, 2, 4)
+	sink(telemetry.Event{T: 2, Kind: telemetry.KindLossDetected, Node: 2, Group: 5, A: 80})
+	sink(telemetry.Event{T: 2.2, Kind: telemetry.KindGroupDecoded, Node: 2, Group: 5})
+	// One cross-group decode (no repairs) on node 2.
+	sink(telemetry.Event{T: 3, Kind: telemetry.KindLossDetected, Node: 2, Group: 6, A: 96})
+	sink(telemetry.Event{T: 3.3, Kind: telemetry.KindGroupDecoded, Node: 2, Group: 6})
+	// One unrecovered late-data loss on node 1.
+	sink(telemetry.Event{T: 4, Kind: telemetry.KindLossDetected, Node: 1, Group: 7, A: 112})
+	sink(telemetry.Event{T: 9, Kind: telemetry.KindLossUnrecovered, Node: 1, Group: 7, A: 112, B: 1})
+	return a
+}
+
+func TestBuildRecoveryReport(t *testing.T) {
+	r := BuildRecoveryReport(buildAssembler())
+	if r.Spans != 5 || r.Recovered != 4 || r.Unrecovered != 1 || r.LateData != 1 {
+		t.Fatalf("counts wrong: %+v", r)
+	}
+	if r.LossEvents != 5 || r.OpenSpans != 0 {
+		t.Fatalf("accounting wrong: loss events %d, open %d", r.LossEvents, r.OpenSpans)
+	}
+	if r.ByMechanism[spans.MechARQ] != 2 || r.ByMechanism[spans.MechFEC] != 1 || r.ByMechanism[spans.MechData] != 1 {
+		t.Fatalf("mechanisms = %v", r.ByMechanism)
+	}
+
+	if len(r.Zones) != 2 || r.Zones[0].Zone != 1 || r.Zones[1].Zone != 2 {
+		t.Fatalf("zones = %+v", r.Zones)
+	}
+	z1 := r.Zones[0]
+	if z1.Spans != 2 || z1.Level != 1 {
+		t.Fatalf("zone 1 row = %+v", z1)
+	}
+	approx := func(got, want float64) bool { return got > want-1e-9 && got < want+1e-9 }
+	// Nearest-rank percentiles over {0.4, 0.8}.
+	if !approx(z1.P50, 0.4) || !approx(z1.P95, 0.8) || !approx(z1.P99, 0.8) {
+		t.Fatalf("zone 1 percentiles = %v/%v/%v", z1.P50, z1.P95, z1.P99)
+	}
+	if !approx(z1.Mean, 0.6) {
+		t.Fatalf("zone 1 mean = %v, want 0.6", z1.Mean)
+	}
+	if z1.MeanHops != 2 {
+		t.Fatalf("zone 1 mean hops = %v, want 2", z1.MeanHops)
+	}
+	z2 := r.Zones[1]
+	if z2.Spans != 1 || z2.Level != 2 || z2.MeanHops != 4 {
+		t.Fatalf("zone 2 row = %+v", z2)
+	}
+
+	if len(r.Levels) != 2 || r.Levels[0].Level != 1 || r.Levels[1].Level != 2 {
+		t.Fatalf("levels = %+v", r.Levels)
+	}
+	if r.Unattributed.Spans != 1 {
+		t.Fatalf("unattributed = %+v", r.Unattributed)
+	}
+}
+
+func TestRecoveryReportString(t *testing.T) {
+	r := BuildRecoveryReport(buildAssembler())
+	s := r.String()
+	for _, want := range []string{
+		"recovery spans: 5 (4 recovered, 1 unrecovered, 1 late-data) from 5 loss events, 0 open",
+		"mechanisms: arq 2, preemptive-fec 1, cross-group 1",
+		"blame zone latency:",
+		"z1/l1",
+		"blame level latency:",
+		"unattributed (cross-group):",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+	if s != BuildRecoveryReport(buildAssembler()).String() {
+		t.Fatal("report rendering is not deterministic")
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if p := percentile(vals, 0.50); p != 5 {
+		t.Fatalf("p50 = %v, want 5", p)
+	}
+	if p := percentile(vals, 0.95); p != 10 {
+		t.Fatalf("p95 = %v, want 10", p)
+	}
+	if p := percentile(vals, 0.99); p != 10 {
+		t.Fatalf("p99 = %v, want 10", p)
+	}
+	if p := percentile([]float64{7}, 0.5); p != 7 {
+		t.Fatalf("single-value p50 = %v", p)
+	}
+	if p := percentile(nil, 0.5); p != 0 {
+		t.Fatalf("empty p50 = %v", p)
+	}
+}

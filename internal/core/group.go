@@ -22,6 +22,10 @@ type group struct {
 	seen []bool
 	// counted marks data indices already counted into the LLC.
 	counted []bool
+	// lossed marks indices that ever emitted a loss_detected event.
+	// Unlike counted it is never reset when the original shows up late,
+	// so session-end accounting can close every opened recovery span.
+	lossed []bool
 
 	llc          int
 	zlc          map[scoping.ZoneID]int
@@ -59,6 +63,7 @@ func newGroup(id uint32, k int) *group {
 		shares:     make(map[int][]byte),
 		seen:       make([]bool, k),
 		counted:    make([]bool, k),
+		lossed:     make([]bool, k),
 		zlc:        make(map[scoping.ZoneID]int),
 		maxShare:   k - 1,
 		reqExp:     1,
@@ -158,6 +163,7 @@ func (a *Agent) noteLoss(now eventq.Time, s uint32) {
 		return
 	}
 	g.counted[idx] = true
+	g.lossed[idx] = true
 	g.llc++
 	a.emit(now, telemetry.KindLossDetected, scoping.NoZone, int64(gid), int64(s), 0, 0)
 	if g.complete {
@@ -211,6 +217,7 @@ func (a *Agent) ldpExpired(now eventq.Time, g *group) {
 		}
 		if !g.seen[idx] && !g.counted[idx] {
 			g.counted[idx] = true
+			g.lossed[idx] = true
 			g.llc++
 			a.emit(now, telemetry.KindLossDetected, scoping.NoZone, int64(g.id), int64(base)+int64(idx), 0, 0)
 		}

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"sort"
+
+	"sharqfec/internal/eventq"
+	"sharqfec/internal/scoping"
+	"sharqfec/internal/telemetry"
+)
+
+// EmitUnrecoveredLosses posts a terminal KindLossUnrecovered event for
+// every loss this agent declared whose group never decoded, so span
+// assembly can distinguish slow recoveries from permanent ones instead
+// of inferring the difference from silence. The facade calls it once
+// per agent when the run ends (crashed agents included — their stranded
+// losses are exactly the interesting ones). Emission order is
+// deterministic: ascending group id, ascending sequence. A no-op when
+// telemetry is disabled.
+//
+// B = 1 marks a loss whose original did arrive late while the group
+// still fell short of k shares — data in hand, group never verified.
+func (a *Agent) EmitUnrecoveredLosses(now eventq.Time) {
+	if a.tel == nil {
+		return
+	}
+	gids := make([]uint32, 0, len(a.groups))
+	for gid := range a.groups {
+		gids = append(gids, gid)
+	}
+	sort.Slice(gids, func(i, j int) bool { return gids[i] < gids[j] })
+	for _, gid := range gids {
+		g := a.groups[gid]
+		if g.complete {
+			continue
+		}
+		base := int64(gid) * int64(a.cfg.GroupK)
+		for idx := 0; idx < len(g.lossed); idx++ {
+			if !g.lossed[idx] {
+				continue
+			}
+			late := int64(0)
+			if g.seen[idx] {
+				late = 1
+			}
+			a.emit(now, telemetry.KindLossUnrecovered, scoping.NoZone, int64(gid), base+int64(idx), late, 0)
+		}
+	}
+}

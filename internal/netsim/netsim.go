@@ -300,9 +300,10 @@ func (n *Network) MulticastE(from topology.NodeID, zone scoping.ZoneID, pkt pack
 		tap(now, from, zone, pkt)
 	}
 	if n.tel.On() {
+		_, group := pktCorrelation(pkt)
 		n.tel.Emit(telemetry.Event{
 			T: now.Seconds(), Kind: telemetry.KindPacketSent, Node: from, Zone: zone,
-			Group: -1, A: int64(pkt.Kind()), B: int64(pkt.WireSize()),
+			Group: group, A: int64(pkt.Kind()), B: int64(pkt.WireSize()),
 		})
 	}
 	children := n.prunedChildren(from, zone)
@@ -381,12 +382,28 @@ func (n *Network) forward(t eventq.Time, tree *topology.Tree, children [][]topol
 
 	n.Q.At(arrive, func(now eventq.Time) {
 		if isMember[v] {
-			n.deliver(now, v, Delivery{From: tree.Root, Scope: zone, Pkt: pkt})
+			n.deliver(now, tree, v, Delivery{From: tree.Root, Scope: zone, Pkt: pkt})
 		}
 		for _, c := range children[v] {
 			n.forward(now, tree, children, isMember, v, c, zone, pkt)
 		}
 	})
+}
+
+// pktCorrelation extracts the span-correlation fields from a packet:
+// the originating node and the FEC group it concerns (SRM mirrors the
+// sequence number into Group). Session packets — and anything else
+// without a group — return (NoNode, -1), the Event sentinels.
+func pktCorrelation(pkt packet.Packet) (origin topology.NodeID, group int64) {
+	switch p := pkt.(type) {
+	case *packet.Data:
+		return p.Origin, int64(p.Group)
+	case *packet.Repair:
+		return p.Origin, int64(p.Group)
+	case *packet.NACK:
+		return p.Origin, int64(p.Group)
+	}
+	return topology.NoNode, -1
 }
 
 // lossModel returns the override for a link direction, or nil.
@@ -397,15 +414,24 @@ func (n *Network) lossModel(link, dir int) LossModel {
 	return n.lossModels[link][dir]
 }
 
-func (n *Network) deliver(now eventq.Time, at topology.NodeID, d Delivery) {
+func (n *Network) deliver(now eventq.Time, tree *topology.Tree, at topology.NodeID, d Delivery) {
 	n.delivered++
 	for _, tap := range n.taps {
 		tap(now, at, d)
 	}
 	if n.tel.On() {
+		origin, group := pktCorrelation(d.Pkt)
+		// Hop distance on the tree the packet actually travelled (the
+		// in-flight tree, which may predate a re-route): walk from the
+		// receiver back to the multicast root.
+		hops := int64(0)
+		for u := at; u != tree.Root && u != topology.NoNode; u = tree.Parent[u] {
+			hops++
+		}
 		n.tel.Emit(telemetry.Event{
 			T: now.Seconds(), Kind: telemetry.KindPacketDelivered, Node: at, Zone: d.Scope,
-			Group: -1, A: int64(d.Pkt.Kind()), B: int64(d.Pkt.WireSize()),
+			Group: group, A: int64(d.Pkt.Kind()), B: int64(d.Pkt.WireSize()),
+			Origin: origin, Hops: hops,
 		})
 	}
 	if a := n.agents[at]; a != nil {
@@ -422,9 +448,10 @@ func (n *Network) emitDrop(t eventq.Time, kind telemetry.Kind, v topology.NodeID
 	if !n.tel.On() {
 		return
 	}
+	_, group := pktCorrelation(pkt)
 	n.tel.Emit(telemetry.Event{
 		T: t.Seconds(), Kind: kind, Node: v, Zone: zone,
-		Group: -1, A: int64(pkt.Kind()), B: int64(pkt.WireSize()),
+		Group: group, A: int64(pkt.Kind()), B: int64(pkt.WireSize()),
 	})
 }
 

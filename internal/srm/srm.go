@@ -14,6 +14,7 @@ package srm
 
 import (
 	"fmt"
+	"sort"
 
 	"sharqfec/internal/eventq"
 	"sharqfec/internal/fabric"
@@ -95,6 +96,11 @@ type pktState struct {
 	// dupReq/dupRep count duplicates observed for timer adaptation.
 	dupReq, dupRep int
 	requestedAt    eventq.Time
+	// lossDetected/lostAt record the first loss_detected emission so
+	// hold can close the recovery span (and session-end accounting can
+	// mark it unrecovered) with the true detection timestamp.
+	lossDetected bool
+	lostAt       eventq.Time
 }
 
 // Agent is one SRM session member.
@@ -275,6 +281,12 @@ func (a *Agent) hold(now eventq.Time, seq uint32, payload []byte) {
 	if st.reqTimer != nil && st.reqTimer.Active() {
 		st.reqTimer.Stop()
 	}
+	if st.lossDetected {
+		// SRM's per-packet analogue of a group decode: a previously
+		// declared loss is now held, closing its recovery span.
+		// F = detection-to-recovery latency.
+		a.emit(now, telemetry.KindGroupDecoded, seq, 0, 1, now.Sub(st.lostAt).Seconds())
+	}
 	if a.OnDeliver != nil {
 		a.OnDeliver(now, seq, payload)
 	}
@@ -300,6 +312,8 @@ func (a *Agent) noteLoss(now eventq.Time, seq uint32) {
 	if st.reqTimer == nil {
 		// First detection of this sequence number (re-arms after
 		// suppression or loss of the repair are not new losses).
+		st.lossDetected = true
+		st.lostAt = now
 		a.emit(now, telemetry.KindLossDetected, seq, int64(seq), 0, 0)
 	}
 	a.armRequestTimer(now, seq, st)
@@ -474,6 +488,27 @@ func (a *Agent) adaptAfterReply(st *pktState) {
 	}
 	a.d1 = clamp(a.d1, 0.5, 4)
 	a.d2 = clamp(a.d2, 1, 8)
+}
+
+// EmitUnrecoveredLosses posts a terminal KindLossUnrecovered event for
+// every detected loss still missing when the run ends — the SRM mirror
+// of core.Agent.EmitUnrecoveredLosses. Deterministic order (ascending
+// sequence); a no-op when telemetry is disabled.
+func (a *Agent) EmitUnrecoveredLosses(now eventq.Time) {
+	if a.tel == nil {
+		return
+	}
+	seqs := make([]uint32, 0, len(a.pkts))
+	for seq := range a.pkts {
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	for _, seq := range seqs {
+		st := a.pkts[seq]
+		if st.lossDetected && !st.have && int(seq) < a.cfg.NumPackets {
+			a.emit(now, telemetry.KindLossUnrecovered, seq, int64(seq), 0, 0)
+		}
+	}
 }
 
 // Held reports how many original packets this agent holds.

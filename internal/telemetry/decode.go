@@ -1,0 +1,80 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"sharqfec/internal/scoping"
+	"sharqfec/internal/topology"
+)
+
+// kindByName inverts kindNames for trace replay.
+var kindByName = func() map[string]Kind {
+	m := make(map[string]Kind, int(numKinds))
+	for k, name := range kindNames {
+		m[name] = Kind(k)
+	}
+	return m
+}()
+
+// KindByName resolves an event-kind name from a JSONL trace.
+func KindByName(name string) (Kind, bool) {
+	k, ok := kindByName[name]
+	return k, ok
+}
+
+// jsonEvent mirrors one EventWriter line; pointer fields distinguish
+// "absent" (sentinel value) from an explicit zero.
+type jsonEvent struct {
+	T      *float64 `json:"t"`
+	Ev     *string  `json:"ev"`
+	Node   *int64   `json:"node"`
+	Zone   *int64   `json:"zone"`
+	Group  *int64   `json:"group"`
+	Origin *int64   `json:"origin"`
+	Hops   *int64   `json:"hops"`
+	A      int64    `json:"a"`
+	B      int64    `json:"b"`
+	F      float64  `json:"f"`
+}
+
+// ParseEventLine decodes one EventWriter JSONL line back into the Event
+// it was written from, restoring the sentinel values of omitted fields,
+// so encode → decode → encode reproduces the input bytes exactly.
+func ParseEventLine(line []byte) (Event, error) {
+	var je jsonEvent
+	if err := json.Unmarshal(line, &je); err != nil {
+		return Event{}, err
+	}
+	if je.T == nil || je.Ev == nil || je.Node == nil {
+		return Event{}, fmt.Errorf(`event line missing required "t"/"ev"/"node": %s`, line)
+	}
+	k, ok := kindByName[*je.Ev]
+	if !ok {
+		return Event{}, fmt.Errorf("unknown event kind %q", *je.Ev)
+	}
+	e := Event{
+		T:      *je.T,
+		Kind:   k,
+		Node:   topology.NodeID(*je.Node),
+		Zone:   scoping.NoZone,
+		Group:  -1,
+		A:      je.A,
+		B:      je.B,
+		F:      je.F,
+		Origin: topology.NoNode,
+	}
+	if je.Zone != nil {
+		e.Zone = scoping.ZoneID(*je.Zone)
+	}
+	if je.Group != nil {
+		e.Group = *je.Group
+	}
+	if je.Hops != nil {
+		e.Hops = *je.Hops
+		if je.Origin != nil {
+			e.Origin = topology.NodeID(*je.Origin)
+		}
+	}
+	return e, nil
+}

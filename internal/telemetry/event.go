@@ -61,6 +61,12 @@ const (
 	// KindScopeEscalated: a requester widened its NACK scope.
 	// Zone = the new (wider) scope.
 	KindScopeEscalated
+	// KindLossUnrecovered: terminal marker emitted at session end for a
+	// detected loss whose group never decoded, so span assembly can
+	// distinguish "slow" from "never". Group = FEC group, A = sequence
+	// number, B = 1 if the original arrived late (data in hand but the
+	// group still short of k shares).
+	KindLossUnrecovered
 
 	// Session-layer events from internal/session.
 
@@ -93,6 +99,18 @@ const (
 	// fields).
 	KindFaultDrop
 
+	// Trace-preamble events: the zone topology rendered as events at
+	// T = 0, so an exported JSONL trace is self-describing and offline
+	// replay (cmd/sharqfec-trace) can reconstruct blame attribution
+	// without re-running the simulation. Node is topology.NoNode on
+	// KindZoneInfo.
+
+	// KindZoneInfo: one zone of the hierarchy. Zone = the zone,
+	// A = parent zone (-1 for the root), B = level (root = 0).
+	KindZoneInfo
+	// KindZoneMember: Node is a leaf member of Zone.
+	KindZoneMember
+
 	numKinds
 )
 
@@ -108,6 +126,7 @@ var kindNames = [numKinds]string{
 	KindLossDetected:     "loss_detected",
 	KindGroupDecoded:     "group_decoded",
 	KindScopeEscalated:   "scope_escalated",
+	KindLossUnrecovered:  "loss_unrecovered",
 	KindZCRElected:       "zcr_elected",
 	KindRTTSample:        "rtt_sample",
 	KindFault:            "fault",
@@ -116,6 +135,8 @@ var kindNames = [numKinds]string{
 	KindPacketLost:       "packet_lost",
 	KindTailDrop:         "tail_drop",
 	KindFaultDrop:        "fault_drop",
+	KindZoneInfo:         "zone_info",
+	KindZoneMember:       "zone_member",
 }
 
 func (k Kind) String() string {
@@ -137,6 +158,15 @@ type Event struct {
 	Group int64
 	A, B  int64
 	F     float64
+
+	// Origin and Hops correlate transport events with the packet they
+	// carry: on KindPacketDelivered, Origin is the packet's original
+	// sender (topology.NoNode for uncorrelated kinds such as session
+	// packets) and Hops the routing-tree distance the packet travelled
+	// to reach Node. Hops == 0 is the sentinel for "no correlation";
+	// Origin is meaningless then (deliveries always cross ≥ 1 link).
+	Origin topology.NodeID
+	Hops   int64
 }
 
 // Format renders an event as a stable single line, for flight-recorder
@@ -154,6 +184,9 @@ func (e Event) Format() string {
 	}
 	if e.F != 0 {
 		s += fmt.Sprintf(" f=%.6g", e.F)
+	}
+	if e.Hops > 0 {
+		s += fmt.Sprintf(" src=n%d hops=%d", e.Origin, e.Hops)
 	}
 	return s
 }

@@ -51,6 +51,12 @@ func (ew *EventWriter) write(e Event) {
 		b = append(b, `,"group":`...)
 		b = strconv.AppendInt(b, e.Group, 10)
 	}
+	if e.Hops > 0 {
+		b = append(b, `,"origin":`...)
+		b = strconv.AppendInt(b, int64(e.Origin), 10)
+		b = append(b, `,"hops":`...)
+		b = strconv.AppendInt(b, e.Hops, 10)
+	}
 	if e.A != 0 {
 		b = append(b, `,"a":`...)
 		b = strconv.AppendInt(b, e.A, 10)

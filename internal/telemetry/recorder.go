@@ -23,10 +23,11 @@ func NewRecorder(capacity int, filter func(Kind) bool) *Recorder {
 }
 
 // ControlPlaneOnly is the standard flight-recorder filter: everything
-// except per-packet transport events.
+// except per-packet transport events and the static trace preamble.
 func ControlPlaneOnly(k Kind) bool {
 	switch k {
-	case KindPacketSent, KindPacketDelivered, KindPacketLost:
+	case KindPacketSent, KindPacketDelivered, KindPacketLost,
+		KindZoneInfo, KindZoneMember:
 		return false
 	}
 	return true

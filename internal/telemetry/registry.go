@@ -105,6 +105,35 @@ func (h *Histogram) Mean() float64 {
 	return 0
 }
 
+// Quantile estimates the q-th quantile (0 < q ≤ 1) from the bucket
+// counts, interpolating linearly within the containing bucket
+// (histogram_quantile semantics). The lowest bucket interpolates from
+// zero; ranks landing in the implicit +Inf bucket report the highest
+// finite bound. Returns 0 when the histogram is empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	n := h.n.Load()
+	if n == 0 {
+		return 0
+	}
+	rank := q * float64(n)
+	cum := float64(0)
+	for i, ub := range h.bounds {
+		in := float64(h.counts[i].Load())
+		if cum+in >= rank && in > 0 {
+			lo := float64(0)
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			return lo + (ub-lo)*(rank-cum)/in
+		}
+		cum += in
+	}
+	if len(h.bounds) == 0 {
+		return 0
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // Registry holds instruments by Key. Lookups take a mutex; hot paths
 // should cache the returned pointers (Metrics does) so steady-state
 // updates are lock-free atomic adds.

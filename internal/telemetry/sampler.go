@@ -27,16 +27,16 @@ type ZoneSample struct {
 	Bytes       int64 `json:"bytes"`
 
 	// Control-plane tallies.
-	NACKsSent        int64   `json:"nacks_sent"`
-	NACKsSuppressed  int64   `json:"nacks_suppressed"`
-	SuppressionRatio float64 `json:"suppression_ratio"`
-	RepairsSent      int64   `json:"repairs_sent"`
-	RepairsInjected  int64   `json:"repairs_injected"`
-	LossesDetected   int64   `json:"losses_detected"`
-	NACKsPerLoss     float64 `json:"nacks_per_loss"`
-	GroupsDecoded    int64   `json:"groups_decoded"`
+	NACKsSent         int64   `json:"nacks_sent"`
+	NACKsSuppressed   int64   `json:"nacks_suppressed"`
+	SuppressionRatio  float64 `json:"suppression_ratio"`
+	RepairsSent       int64   `json:"repairs_sent"`
+	RepairsInjected   int64   `json:"repairs_injected"`
+	LossesDetected    int64   `json:"losses_detected"`
+	NACKsPerLoss      float64 `json:"nacks_per_loss"`
+	GroupsDecoded     int64   `json:"groups_decoded"`
 	DecodeLatencyMean float64 `json:"decode_latency_mean_s"`
-	Elections        int64   `json:"zcr_elections"`
+	Elections         int64   `json:"zcr_elections"`
 
 	// Aggregate-row-only fields (zero on per-zone rows).
 	FaultDrops      int64   `json:"fault_drops"`

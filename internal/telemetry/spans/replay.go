@@ -1,0 +1,39 @@
+package spans
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+
+	"sharqfec/internal/telemetry"
+)
+
+// Replay feeds a JSONL event trace (as written by telemetry.EventWriter
+// via sharqfec-sim -trace-events) through a fresh assembler and returns
+// it. Because the trace preamble carries the zone hierarchy and every
+// correlated field survives the JSONL round trip, the result is
+// identical to what live assembly produced during the run.
+func Replay(r io.Reader) (*Assembler, error) {
+	a := NewAssembler()
+	sink := a.Sink()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 4096), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		e, err := telemetry.ParseEventLine(raw)
+		if err != nil {
+			return nil, fmt.Errorf("trace line %d: %w", line, err)
+		}
+		sink(e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace line %d: %w", line, err)
+	}
+	return a, nil
+}

@@ -4,9 +4,12 @@ import (
 	"fmt"
 	"io"
 
+	"sharqfec/internal/analysis"
 	"sharqfec/internal/eventq"
 	"sharqfec/internal/scoping"
 	"sharqfec/internal/telemetry"
+	"sharqfec/internal/telemetry/spans"
+	"sharqfec/internal/topology"
 )
 
 // TelemetryConfig turns on the observability layer for a run. A nil
@@ -24,8 +27,40 @@ type TelemetryConfig struct {
 	// taken at the end of the run.
 	MetricsInterval float64
 	// FlightRecorder, when > 0, keeps a ring of the last N
-	// control-plane events for post-mortem dumps.
+	// control-plane events for post-mortem dumps. Values are clamped to
+	// [MinFlightRecorder, MaxFlightRecorder].
 	FlightRecorder int
+	// Spans enables causal recovery tracing: every loss_detected event
+	// is stitched into a span ending at the group's decode (or an
+	// explicit loss_unrecovered marker), tagged with the resolving
+	// mechanism, blame zone, requester→repairer hop distance and
+	// end-to-end latency. Adds per-zone / per-level recovery-latency
+	// histograms (with p50/p95/p99 gauges) to the metrics registry.
+	// Like the rest of the layer it is strictly passive.
+	Spans bool
+}
+
+// Flight-recorder ring bounds: below MinFlightRecorder a dump carries
+// too little history to explain an anomaly; above MaxFlightRecorder the
+// preallocated ring stops being "cheap to always keep on".
+const (
+	MinFlightRecorder = 16
+	MaxFlightRecorder = 1 << 16
+)
+
+// clampFlightRecorder applies the documented floor and cap (0 and
+// negative values mean "off" and pass through).
+func clampFlightRecorder(n int) int {
+	if n <= 0 {
+		return n
+	}
+	if n < MinFlightRecorder {
+		return MinFlightRecorder
+	}
+	if n > MaxFlightRecorder {
+		return MaxFlightRecorder
+	}
+	return n
 }
 
 // TelemetryReport is what a telemetry-enabled run hands back: end-of-run
@@ -49,6 +84,7 @@ type TelemetryReport struct {
 
 	rows   []telemetry.ZoneSample
 	flight []string
+	asm    *spans.Assembler
 }
 
 // NumSamples returns how many time-series snapshots were taken.
@@ -77,6 +113,52 @@ func (r *TelemetryReport) WriteMetricsJSON(w io.Writer) error {
 // flight recorder was off).
 func (r *TelemetryReport) FlightRecord() []string { return r.flight }
 
+// Spans returns every closed recovery span in canonical order (nil
+// unless TelemetryConfig.Spans was set).
+func (r *TelemetryReport) Spans() []spans.Span {
+	if r.asm == nil {
+		return nil
+	}
+	return r.asm.Spans()
+}
+
+// OpenSpans returns how many recovery spans never saw a terminal event
+// (0 on a well-accounted run: every loss decodes or is explicitly
+// marked unrecovered at session end).
+func (r *TelemetryReport) OpenSpans() int {
+	if r.asm == nil {
+		return 0
+	}
+	return r.asm.Open()
+}
+
+// SpanLossEvents returns how many loss_detected events the span
+// assembler consumed, duplicates included.
+func (r *TelemetryReport) SpanLossEvents() uint64 {
+	if r.asm == nil {
+		return 0
+	}
+	return r.asm.LossEvents()
+}
+
+// RecoveryReport aggregates the spans into per-zone / per-level
+// recovery-latency percentiles (nil when span tracing was off).
+func (r *TelemetryReport) RecoveryReport() *analysis.RecoveryReport {
+	if r.asm == nil {
+		return nil
+	}
+	return analysis.BuildRecoveryReport(r.asm)
+}
+
+// WritePerfetto renders the recovery spans as Chrome trace-event JSON
+// loadable in Perfetto / chrome://tracing.
+func (r *TelemetryReport) WritePerfetto(w io.Writer) error {
+	if r.asm == nil {
+		return fmt.Errorf("sharqfec: span tracing was not enabled")
+	}
+	return spans.WritePerfetto(w, r.asm.Spans(), r.asm.View())
+}
+
 // telemetryRun bundles the live pieces a run wires together: the bus the
 // protocol layers emit into, and the sinks consuming it.
 type telemetryRun struct {
@@ -85,6 +167,7 @@ type telemetryRun struct {
 	sampler *telemetry.Sampler
 	events  *telemetry.EventWriter
 	rec     *telemetry.Recorder
+	spans   *spans.Assembler
 }
 
 // busOf returns the run's bus, nil-safe, for wiring into configs that
@@ -110,13 +193,41 @@ func startTelemetry(cfg *TelemetryConfig, q *eventq.Queue, h *scoping.Hierarchy,
 	t.metrics = telemetry.NewMetrics(nil, h, numNodes)
 	t.bus.Attach(t.metrics.Sink())
 	t.sampler = telemetry.NewSampler(t.metrics)
+	if cfg.Spans {
+		t.spans = spans.NewAssembler()
+		t.spans.Observer = func(s *spans.Span) {
+			if s.Recovered {
+				t.metrics.ObserveRecovery(s.BlameZone, s.BlameLevel, s.Latency())
+			}
+		}
+		t.bus.Attach(t.spans.Sink())
+	}
 	if cfg.Events != nil {
 		t.events = telemetry.NewEventWriter(cfg.Events)
 		t.bus.Attach(t.events.Sink())
 	}
-	if cfg.FlightRecorder > 0 {
-		t.rec = telemetry.NewRecorder(cfg.FlightRecorder, telemetry.ControlPlaneOnly)
+	if rec := clampFlightRecorder(cfg.FlightRecorder); rec > 0 {
+		t.rec = telemetry.NewRecorder(rec, telemetry.ControlPlaneOnly)
 		t.bus.Attach(t.rec.Sink())
+	}
+	// Self-describing preamble at T = 0: the zone hierarchy rendered as
+	// events, so an exported JSONL trace replays offline with identical
+	// blame attribution (cmd/sharqfec-trace needs no topology input).
+	for z := 0; z < h.NumZones(); z++ {
+		zone := scoping.ZoneID(z)
+		parent := int64(-1)
+		if p := h.Parent(zone); p != scoping.NoZone {
+			parent = int64(p)
+		}
+		t.bus.Emit(telemetry.Event{
+			Kind: telemetry.KindZoneInfo, Node: topology.NoNode, Zone: zone,
+			Group: -1, A: parent, B: int64(h.Level(zone)),
+		})
+		for _, m := range h.Leaves(zone) {
+			t.bus.Emit(telemetry.Event{
+				Kind: telemetry.KindZoneMember, Node: m, Zone: zone, Group: -1,
+			})
+		}
 	}
 	iv := cfg.MetricsInterval
 	if iv <= 0 {
@@ -135,6 +246,13 @@ func (t *telemetryRun) finish(until float64) (*TelemetryReport, error) {
 	if t == nil {
 		return nil, nil
 	}
+	if t.spans != nil {
+		t.metrics.FinishRecovery()
+		// Observers only fire during the run; drop the closure so two
+		// identically-seeded reports stay reflect.DeepEqual-comparable
+		// (func values never compare equal).
+		t.spans.Observer = nil
+	}
 	t.sampler.Sample(until)
 	rep := &TelemetryReport{
 		EventsEmitted:    t.bus.Count(),
@@ -147,6 +265,7 @@ func (t *telemetryRun) finish(until float64) (*TelemetryReport, error) {
 	if local, global := t.metrics.RepairLocalization(); local+global > 0 {
 		rep.LocalRepairFrac = float64(local) / float64(local+global)
 	}
+	rep.asm = t.spans
 	if t.rec != nil {
 		rep.flight = t.rec.Dump()
 	}

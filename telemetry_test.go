@@ -4,9 +4,13 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"io"
 	"strconv"
 	"strings"
 	"testing"
+
+	"sharqfec/internal/analysis"
+	"sharqfec/internal/telemetry/spans"
 )
 
 // telemetryRunConfig is the shared scenario for the facade tests: short
@@ -83,6 +87,26 @@ func TestTelemetryPassive(t *testing.T) {
 	}
 	if resOff.Telemetry != nil {
 		t.Error("telemetry report present on a disabled run")
+	}
+
+	// Span assembly rides the same bus and must be just as passive.
+	var traceSpans bytes.Buffer
+	withSpans := telemetryRunConfig(nil)
+	withSpans.Telemetry.Events = nil // nil *bytes.Buffer must not become a typed-nil writer
+	withSpans.Telemetry.Spans = true
+	withSpans.TraceWriter = &traceSpans
+	resSpans, err := RunData(withSpans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(traceOff.Bytes(), traceSpans.Bytes()) {
+		t.Error("span tracing perturbed the packet trace")
+	}
+	if resOff.NACKsSent != resSpans.NACKsSent || resOff.CompletionRate != resSpans.CompletionRate {
+		t.Error("span tracing perturbed totals")
+	}
+	if len(resSpans.Telemetry.Spans()) == 0 {
+		t.Error("spans enabled but none assembled")
 	}
 }
 
@@ -207,3 +231,148 @@ func TestChaosFlightRecorderDumpsOnAnomaly(t *testing.T) {
 }
 
 func itoa(n int) string { return strconv.Itoa(n) }
+
+// TestSpanAccountingUnderChaos is the span-tracing acceptance check on
+// a seeded Figure-10 chaos run (ZCR crash): every loss_detected event
+// resolves into exactly one span terminated by a decode or an explicit
+// loss_unrecovered marker — none left open, duplicates folded.
+func TestSpanAccountingUnderChaos(t *testing.T) {
+	var ev bytes.Buffer
+	res, err := RunChaos(ChaosConfig{
+		Seed:       5,
+		NumPackets: 128,
+		Until:      60,
+		Telemetry:  &TelemetryConfig{Events: &ev},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel := res.Telemetry
+	if tel.OpenSpans() != 0 {
+		t.Fatalf("%d spans never saw a terminal event", tel.OpenSpans())
+	}
+	sps := tel.Spans()
+	if len(sps) == 0 || tel.SpanLossEvents() == 0 {
+		t.Fatal("chaos run assembled no spans")
+	}
+	accounted := uint64(0)
+	for _, s := range sps {
+		accounted += uint64(1 + s.DupLoss)
+	}
+	if accounted != tel.SpanLossEvents() {
+		t.Fatalf("spans account for %d loss events, assembler consumed %d",
+			accounted, tel.SpanLossEvents())
+	}
+	rep := tel.RecoveryReport()
+	if rep.Recovered+rep.Unrecovered != rep.Spans {
+		t.Fatalf("recovered %d + unrecovered %d != %d spans",
+			rep.Recovered, rep.Unrecovered, rep.Spans)
+	}
+
+	// Offline replay of the JSONL trace must reproduce the identical
+	// report — byte for byte — from the trace alone.
+	replayed, err := spans.Replay(&ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live, offline := rep.String(), analysis.BuildRecoveryReport(replayed).String(); live != offline {
+		t.Fatalf("offline replay diverges from live assembly:\n--- live ---\n%s--- replay ---\n%s", live, offline)
+	}
+}
+
+// TestChaosAnomalyIncludesSpanSummary: an anomalous chaos dump now
+// leads with the span ledger before the raw event tail.
+func TestChaosAnomalyIncludesSpanSummary(t *testing.T) {
+	res, err := RunChaos(ChaosConfig{
+		Seed:       5,
+		NumPackets: 64,
+		Until:      30,
+		Faults:     NewFaultPlan().Crash(6.2, 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CompletionRate >= 1 {
+		t.Skipf("crash did not prevent completion (%.3f); scenario lost its teeth", res.CompletionRate)
+	}
+	if len(res.FlightRecord) == 0 || !strings.HasPrefix(res.FlightRecord[0], "recovery spans:") {
+		t.Fatalf("flight record does not lead with the span ledger: %q", res.FlightRecord[:1])
+	}
+}
+
+// TestFlightRecorderClamp: the configurable ring size respects its
+// documented floor and cap, and off stays off.
+func TestFlightRecorderClamp(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{0, 0},
+		{-7, -7}, // "off" passes through untouched
+		{1, MinFlightRecorder},
+		{MinFlightRecorder, MinFlightRecorder},
+		{500, 500},
+		{MaxFlightRecorder, MaxFlightRecorder},
+		{MaxFlightRecorder + 1, MaxFlightRecorder},
+		{1 << 30, MaxFlightRecorder},
+	} {
+		if got := clampFlightRecorder(tc.in); got != tc.want {
+			t.Errorf("clampFlightRecorder(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+
+	// End to end: a below-floor config still yields a working recorder.
+	res, err := RunData(DataConfig{
+		Protocol:   SHARQFEC,
+		Seed:       11,
+		NumPackets: 64,
+		Until:      20,
+		Telemetry:  &TelemetryConfig{FlightRecorder: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(res.Telemetry.FlightRecord())
+	if n == 0 || n > MinFlightRecorder {
+		t.Fatalf("flight record holds %d lines, want 1..%d (clamped floor)", n, MinFlightRecorder)
+	}
+}
+
+// TestPerfettoExport: the facade's exporter produces valid trace-event
+// JSON whose slice count matches the span count.
+func TestPerfettoExport(t *testing.T) {
+	cfg := telemetryRunConfig(nil)
+	cfg.Telemetry.Events = nil
+	cfg.Telemetry.Spans = true
+	res, err := RunData(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.Telemetry.WritePerfetto(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Ph string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("perfetto export is not valid JSON: %v", err)
+	}
+	slices := 0
+	for _, ev := range tf.TraceEvents {
+		if ev.Ph == "X" {
+			slices++
+		}
+	}
+	if want := len(res.Telemetry.Spans()); slices != want {
+		t.Fatalf("perfetto has %d slices, run closed %d spans", slices, want)
+	}
+
+	// Spans off: the exporter refuses rather than writing an empty file.
+	plain, err := RunData(telemetryRunConfig(&bytes.Buffer{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.Telemetry.WritePerfetto(io.Discard); err == nil {
+		t.Fatal("WritePerfetto succeeded without span tracing")
+	}
+}
