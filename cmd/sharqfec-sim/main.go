@@ -19,6 +19,12 @@
 //	           partition-zone/heal-zone <zone>,
 //	           gilbert-link <link> <mean> <burst>,
 //	           gilbert-all <mean> <burst>, gilbert-equal-mean <burst>)
+//	-packet-trace      write an ns-style packet trace ("+" transmissions,
+//	                   "r" deliveries) to this file
+//	-cpuprofile        write a pprof CPU profile of the run to this file
+//	-memprofile        write a pprof heap profile (after the run) to
+//	                   this file
+//	-trace             write a runtime/trace execution trace to this file
 //	-trace-events      write a JSONL protocol-event trace to this file
 //	-metrics-out       write the per-zone metrics time series to this
 //	                   file (CSV, or a JSON array when the file name
@@ -36,6 +42,9 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
 	"strconv"
 	"strings"
 
@@ -53,7 +62,10 @@ func main() {
 	seed := flag.Uint64("seed", 1, "RNG seed")
 	until := flag.Float64("until", 30, "simulated end time (s)")
 	series := flag.Bool("series", false, "print per-bin traffic series")
-	tracePath := flag.String("trace", "", "write an ns-style packet trace to this file")
+	tracePath := flag.String("packet-trace", "", "write an ns-style packet trace to this file")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file")
+	execTrace := flag.String("trace", "", "write a runtime/trace execution trace to this file")
 	faultsPath := flag.String("faults", "", "fault-plan file to replay against the run")
 	eventsPath := flag.String("trace-events", "", "write a JSONL protocol-event trace to this file")
 	metricsPath := flag.String("metrics-out", "", "write per-zone metrics time series to this file (.json for JSON, else CSV)")
@@ -66,6 +78,41 @@ func main() {
 	proto, err := sharqfec.ParseProtocol(*protoFlag)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *execTrace != "" {
+		f, err := os.Create(*execTrace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := trace.Start(f); err != nil {
+			log.Fatal(err)
+		}
+		defer trace.Stop()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows retained state
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+		}()
 	}
 	top, err := parseTopology(*topoFlag, *lossFlag)
 	if err != nil {

@@ -5,7 +5,45 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
+
+// runtimeGOMAXPROCS is the default worker-pool width for the parallel
+// multi-run drivers (RunEnsemble, RunTimerSweep).
+func runtimeGOMAXPROCS() int { return runtime.GOMAXPROCS(0) }
+
+// runIndexed runs fn(0..n-1) across a worker pool of at most
+// sweepParallelism() goroutines. Unlike a spawn-per-item loop with a
+// semaphore, the pool never creates more goroutines than can run, so a
+// 10k-seed ensemble costs pool-width stacks instead of 10k.
+func runIndexed(n int, fn func(i int)) {
+	workers := sweepParallelism()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
 
 // EnsembleResult aggregates a data experiment over several seeds. The
 // paper chose a long run so "any dependency upon ns's internal random
@@ -37,20 +75,13 @@ func RunEnsemble(cfg DataConfig, seeds []uint64) (*EnsembleResult, error) {
 	results := make([]*DataResult, len(seeds))
 	errs := make([]error, len(seeds))
 
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	var wg sync.WaitGroup
-	for i, seed := range seeds {
-		wg.Add(1)
-		go func(i int, seed uint64) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			c := cfg
-			c.Seed = seed
-			results[i], errs[i] = RunData(c)
-		}(i, seed)
-	}
-	wg.Wait()
+	// Bounded worker pool: goroutine count is the pool width, not the
+	// seed count, so huge ensembles don't pay len(seeds) idle stacks.
+	runIndexed(len(seeds), func(i int) {
+		c := cfg
+		c.Seed = seeds[i]
+		results[i], errs[i] = RunData(c)
+	})
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

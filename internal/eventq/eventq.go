@@ -1,14 +1,23 @@
 // Package eventq implements the discrete-event core of the simulator:
-// a virtual clock, a binary-heap event queue, and cancellable timers.
+// a virtual clock, a specialized 4-ary-heap event queue, and cancellable
+// timers.
 //
 // All protocol and network behaviour in this repository is driven by a
 // single Queue per simulation. Events scheduled for the same instant are
 // dispatched in FIFO order (a strictly increasing sequence number breaks
 // ties), which keeps simulations fully deterministic for a given seed.
+//
+// The queue is a monomorphic 4-ary heap rather than container/heap: the
+// interface-based heap boxes every operation behind dynamic dispatch and
+// forces one *event allocation per scheduled event. Here sift-up/down are
+// inlined and popped or cancelled events return to a free list, so
+// steady-state scheduling allocates nothing. Timer handles carry a
+// generation counter so a recycled event can never be stopped or queried
+// through a stale handle. The (time, seq) ordering is total, so the heap
+// shape never affects dispatch order — determinism is untouched.
 package eventq
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"time"
@@ -48,50 +57,54 @@ const Never = Time(math.MaxFloat64)
 // simulation goroutine; it may schedule further events but must not block.
 type Handler func(now Time)
 
-// event is a single queue entry.
+// event is a single queue entry. Events are recycled through the queue's
+// free list; gen distinguishes incarnations so stale Timer handles go
+// inert instead of acting on the recycled entry.
 type event struct {
-	at      Time
-	seq     uint64 // FIFO tie-break for identical timestamps
-	fn      Handler
-	index   int // heap index, -1 once popped or cancelled
-	stopped bool
+	at    Time
+	seq   uint64 // FIFO tie-break for identical timestamps
+	fn    Handler
+	index int32  // heap index, -1 while on the free list
+	gen   uint32 // incremented every time the event leaves the heap
 }
 
 // Timer is a handle to a scheduled event that can be stopped or queried.
+// The zero Timer is inert: Stop and Active return false.
 type Timer struct {
-	q  *Queue
-	ev *event
+	q   *Queue
+	ev  *event
+	gen uint32
 }
 
 // Stop cancels the timer. It reports whether the call prevented the
 // handler from firing (false if it already fired or was already stopped).
-func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.stopped || t.ev.index < 0 {
+func (t Timer) Stop() bool {
+	if t.ev == nil || t.ev.gen != t.gen || t.ev.index < 0 {
 		return false
 	}
-	t.ev.stopped = true
-	heap.Remove(&t.q.h, t.ev.index)
-	// Release the handler closure: protocol agents hold Timer handles
-	// long after cancellation, and under heavy cancel/reschedule churn
-	// (the fault engine's pattern) retained closures are the only thing
-	// keeping dead per-packet state alive.
-	t.ev.fn = nil
+	t.q.remove(int(t.ev.index))
+	// Recycling releases the handler closure: protocol agents hold Timer
+	// handles long after cancellation, and under heavy cancel/reschedule
+	// churn (the fault engine's pattern) retained closures are the only
+	// thing keeping dead per-packet state alive.
+	t.q.recycle(t.ev)
 	return true
 }
 
 // Active reports whether the timer is still pending.
-func (t *Timer) Active() bool {
-	return t != nil && t.ev != nil && !t.ev.stopped && t.ev.index >= 0
+func (t Timer) Active() bool {
+	return t.ev != nil && t.ev.gen == t.gen && t.ev.index >= 0
 }
 
 // When returns the simulated time at which the timer will fire.
 // It is meaningful only while Active.
-func (t *Timer) When() Time { return t.ev.at }
+func (t Timer) When() Time { return t.ev.at }
 
 // Queue is a discrete-event queue with a virtual clock.
 // The zero value is ready to use.
 type Queue struct {
-	h         evHeap
+	h         []*event
+	free      []*event
 	now       Time
 	seq       uint64
 	dispatchN uint64
@@ -108,19 +121,31 @@ func (q *Queue) Dispatched() uint64 { return q.dispatchN }
 
 // At schedules fn to run at absolute time at. Scheduling in the past
 // (before Now) is clamped to Now: the event runs next, preserving order.
-func (q *Queue) At(at Time, fn Handler) *Timer {
+func (q *Queue) At(at Time, fn Handler) Timer {
 	if at < q.now {
 		at = q.now
 	}
-	ev := &event{at: at, seq: q.seq, fn: fn}
+	var ev *event
+	if n := len(q.free); n > 0 {
+		ev = q.free[n-1]
+		q.free[n-1] = nil
+		q.free = q.free[:n-1]
+	} else {
+		ev = &event{}
+	}
+	ev.at = at
+	ev.seq = q.seq
+	ev.fn = fn
 	q.seq++
-	heap.Push(&q.h, ev)
-	return &Timer{q: q, ev: ev}
+	ev.index = int32(len(q.h))
+	q.h = append(q.h, ev)
+	q.siftUp(len(q.h) - 1)
+	return Timer{q: q, ev: ev, gen: ev.gen}
 }
 
 // After schedules fn to run d after the current simulated time.
 // Negative d is treated as zero.
-func (q *Queue) After(d Duration, fn Handler) *Timer {
+func (q *Queue) After(d Duration, fn Handler) Timer {
 	if d < 0 {
 		d = 0
 	}
@@ -130,19 +155,20 @@ func (q *Queue) After(d Duration, fn Handler) *Timer {
 // Step dispatches the earliest pending event, advancing the clock to its
 // timestamp. It reports false when the queue is empty.
 func (q *Queue) Step() bool {
-	for len(q.h) > 0 {
-		ev := heap.Pop(&q.h).(*event)
-		if ev.stopped {
-			continue
-		}
-		q.now = ev.at
-		q.dispatchN++
-		fn := ev.fn
-		ev.fn = nil // outstanding Timer handles must not pin the closure
-		fn(q.now)
-		return true
+	if len(q.h) == 0 {
+		return false
 	}
-	return false
+	ev := q.h[0]
+	q.remove(0)
+	q.now = ev.at
+	q.dispatchN++
+	fn := ev.fn
+	// Recycle before dispatch: the handler may schedule new events and
+	// reuse this entry immediately — recycle bumps gen first, so every
+	// outstanding handle to the firing event is already inert.
+	q.recycle(ev)
+	fn(q.now)
+	return true
 }
 
 // Run dispatches events until the queue is empty.
@@ -155,15 +181,7 @@ func (q *Queue) Run() {
 // clock to end (if the clock has not already passed it). Events scheduled
 // after end remain queued.
 func (q *Queue) RunUntil(end Time) {
-	for len(q.h) > 0 {
-		ev := q.h[0]
-		if ev.stopped {
-			heap.Pop(&q.h)
-			continue
-		}
-		if ev.at > end {
-			break
-		}
+	for len(q.h) > 0 && q.h[0].at <= end {
 		q.Step()
 	}
 	if q.now < end {
@@ -171,32 +189,88 @@ func (q *Queue) RunUntil(end Time) {
 	}
 }
 
-// evHeap orders events by (time, seq).
-type evHeap []*event
+// recycle invalidates outstanding Timer handles for ev, releases its
+// handler closure, and returns it to the free list.
+func (q *Queue) recycle(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	q.free = append(q.free, ev)
+}
 
-func (h evHeap) Len() int { return len(h) }
-func (h evHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// less orders events by (time, seq) — a total order, so dispatch order is
+// independent of heap layout.
+func (q *Queue) less(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h evHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *evHeap) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-func (h *evHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
+
+// remove deletes the event at heap index i, restoring the heap property.
+func (q *Queue) remove(i int) {
+	h := q.h
+	n := len(h) - 1
+	ev := h[i]
+	if i != n {
+		h[i] = h[n]
+		h[i].index = int32(i)
+	}
+	h[n] = nil
+	q.h = h[:n]
 	ev.index = -1
-	*h = old[:n-1]
-	return ev
+	if i < n {
+		q.siftDown(i)
+		q.siftUp(i)
+	}
+}
+
+// siftUp moves the event at index i toward the root until its parent is
+// not later.
+func (q *Queue) siftUp(i int) {
+	h := q.h
+	ev := h[i]
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !q.less(ev, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		h[i].index = int32(i)
+		i = p
+	}
+	h[i] = ev
+	ev.index = int32(i)
+}
+
+// siftDown moves the event at index i toward the leaves until no child
+// precedes it. The 4-ary layout halves tree depth versus binary, and the
+// wider node stays within one cache line of children pointers.
+func (q *Queue) siftDown(i int) {
+	h := q.h
+	n := len(h)
+	ev := h[i]
+	for {
+		first := i<<2 + 1
+		if first >= n {
+			break
+		}
+		best := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if q.less(h[c], h[best]) {
+				best = c
+			}
+		}
+		if !q.less(h[best], ev) {
+			break
+		}
+		h[i] = h[best]
+		h[i].index = int32(i)
+		i = best
+	}
+	h[i] = ev
+	ev.index = int32(i)
 }

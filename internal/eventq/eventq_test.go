@@ -133,7 +133,7 @@ func TestTimerStopAfterFire(t *testing.T) {
 func TestStopOneOfMany(t *testing.T) {
 	var q Queue
 	var got []int
-	var timers []*Timer
+	var timers []Timer
 	for i := 0; i < 10; i++ {
 		i := i
 		timers = append(timers, q.At(Time(i), func(Time) { got = append(got, i) }))
@@ -205,13 +205,13 @@ func TestTimerWhen(t *testing.T) {
 	}
 }
 
-func TestNilTimerStopSafe(t *testing.T) {
-	var tm *Timer
+func TestZeroTimerStopSafe(t *testing.T) {
+	var tm Timer
 	if tm.Stop() {
-		t.Fatal("nil timer Stop returned true")
+		t.Fatal("zero timer Stop returned true")
 	}
 	if tm.Active() {
-		t.Fatal("nil timer Active returned true")
+		t.Fatal("zero timer Active returned true")
 	}
 }
 
@@ -244,7 +244,7 @@ func TestPropertyCancelConsistency(t *testing.T) {
 		var q Queue
 		fired := map[int]bool{}
 		cancelled := map[int]bool{}
-		var timers []*Timer
+		var timers []Timer
 		count := int(n%64) + 1
 		for i := 0; i < count; i++ {
 			i := i
@@ -295,7 +295,7 @@ func TestCancelRescheduleChurn(t *testing.T) {
 	var q Queue
 	rng := rand.New(rand.NewPCG(1, 2))
 	fired := 0
-	live := map[*Timer]bool{}
+	live := map[Timer]bool{}
 	for round := 0; round < 200; round++ {
 		for i := 0; i < 50; i++ {
 			tm := q.After(Duration(rng.Float64()), func(Time) { fired++ })
@@ -336,10 +336,10 @@ func TestCancelThenFireRace(t *testing.T) {
 	firedB := false
 	// A and B share t=1; A is scheduled first so FIFO dispatches it
 	// first, and A cancels B before the queue reaches it.
-	var b *Timer
+	var b Timer
 	q.At(1, func(Time) { b.Stop() })
 	b = q.At(1, func(Time) { firedB = true })
-	var self *Timer
+	var self Timer
 	selfStop := true
 	self = q.At(2, func(Time) { selfStop = self.Stop() })
 	q.Run()
@@ -352,6 +352,49 @@ func TestCancelThenFireRace(t *testing.T) {
 	if q.Len() != 0 {
 		t.Fatalf("queue not drained: %d left", q.Len())
 	}
+}
+
+// TestStaleHandleCannotTouchRecycledEvent pins the free-list safety
+// contract: once an event fires (or is stopped) and its entry is
+// recycled into a new scheduling, the old Timer handle must be inert —
+// it must not report the new event as its own, and Stop through it must
+// not cancel the new event.
+func TestStaleHandleCannotTouchRecycledEvent(t *testing.T) {
+	var q Queue
+	old := q.At(1, func(Time) {})
+	q.Run() // fires; the event struct returns to the free list
+	fired := false
+	fresh := q.At(2, func(Time) { fired = true })
+	if fresh.ev != old.ev {
+		t.Skip("free list did not recycle the entry; nothing to test")
+	}
+	if old.Active() {
+		t.Fatal("stale handle reports the recycled event as active")
+	}
+	if old.Stop() {
+		t.Fatal("stale handle stopped the recycled event")
+	}
+	q.Run()
+	if !fired {
+		t.Fatal("recycled event did not fire")
+	}
+}
+
+// TestFreeListReuse verifies steady-state scheduling recycles event
+// structs instead of allocating: schedule/fire cycles beyond the first
+// must reuse the same entries.
+func TestFreeListReuse(t *testing.T) {
+	var q Queue
+	a := q.At(1, func(Time) {})
+	q.Run()
+	b := q.At(2, func(Time) {})
+	if a.ev != b.ev {
+		t.Fatal("fired event was not recycled for the next scheduling")
+	}
+	if a.gen == b.gen {
+		t.Fatal("recycled event kept its generation; stale handles would stay live")
+	}
+	q.Run()
 }
 
 // TestStopReleasesClosure verifies a stopped timer no longer pins its

@@ -3,6 +3,7 @@ package fec
 import (
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // MaxShares is the largest total number of distinct shares (data + repair)
@@ -12,18 +13,59 @@ const MaxShares = 255
 // Codec is a systematic Reed–Solomon erasure codec for groups of K data
 // shares. Share indices 0..K-1 are the data shares verbatim; indices
 // K..MaxShares-1 are repair shares. Any K shares with distinct indices
-// reconstruct the group. Codec is safe for concurrent use: all methods
-// only read the generator matrix.
+// reconstruct the group. Codec is safe for concurrent use: encode paths
+// only read the generator matrix, and the decode-matrix cache is guarded
+// by its own lock.
 type Codec struct {
 	k   int
 	gen *matrix // MaxShares × k systematic generator: top k rows = identity
+
+	// Decode-matrix cache, keyed by the erasure pattern (the sorted
+	// share indices actually used to decode). Under stationary loss the
+	// same patterns recur across groups — and across every agent sharing
+	// this codec — so the Gauss–Jordan inversion amortizes to ~zero.
+	decMu    sync.RWMutex
+	decCache map[string]*matrix
 }
 
-// NewCodec builds a codec for groups of k data shares (1 <= k <= MaxShares).
+// maxDecodeCache bounds the per-codec decode-matrix cache. Each entry is
+// a k×k matrix (k²+O(k) bytes); when the bound is hit the cache resets
+// rather than evicting — recurring patterns repopulate it immediately.
+const maxDecodeCache = 2048
+
+// codecCache memoizes NewCodec per k: codecs are immutable after
+// construction (the decode cache is internally synchronized), and the
+// Vandermonde build plus systematic transform is O(MaxShares·k²) — far
+// too expensive to repeat for every agent in a large topology.
+var codecCache struct {
+	mu  sync.Mutex
+	byK [MaxShares + 1]*Codec
+}
+
+// NewCodec returns the codec for groups of k data shares
+// (1 <= k <= MaxShares). Codecs are memoized per k and shared: the
+// returned value may be the same instance across calls (and goroutines),
+// which is safe because all methods are concurrency-safe.
 func NewCodec(k int) (*Codec, error) {
 	if k < 1 || k > MaxShares {
 		return nil, fmt.Errorf("fec: k must be in [1, %d], got %d", MaxShares, k)
 	}
+	codecCache.mu.Lock()
+	defer codecCache.mu.Unlock()
+	if c := codecCache.byK[k]; c != nil {
+		return c, nil
+	}
+	c, err := newCodecUncached(k)
+	if err != nil {
+		return nil, err
+	}
+	codecCache.byK[k] = c
+	return c, nil
+}
+
+// newCodecUncached builds a fresh codec, bypassing the memo (the
+// cache-correctness tests compare cached and fresh instances).
+func newCodecUncached(k int) (*Codec, error) {
 	v := vandermonde(MaxShares, k)
 	top, err := v.subMatrixRows(seq(k)).invert()
 	if err != nil {
@@ -56,25 +98,35 @@ func (c *Codec) Repair(data [][]byte, index int) (Share, error) {
 		return Share{}, fmt.Errorf("fec: repair index %d out of range [%d, %d)", index, c.k, MaxShares)
 	}
 	out := make([]byte, len(data[0]))
+	c.repairInto(out, data, index)
+	return Share{Index: index, Data: out}, nil
+}
+
+// repairInto accumulates the repair share for index into out (assumed
+// zeroed, length len(data[0])).
+func (c *Codec) repairInto(out []byte, data [][]byte, index int) {
 	row := c.gen.row(index)
 	for j, coeff := range row {
 		addMulSlice(out, data[j], coeff)
 	}
-	return Share{Index: index, Data: out}, nil
 }
 
-// Repairs produces h consecutive repair shares starting at index K.
+// Repairs produces h consecutive repair shares starting at index K. The
+// share payloads are carved from one contiguous allocation.
 func (c *Codec) Repairs(data [][]byte, h int) ([]Share, error) {
 	if h < 0 || c.k+h > MaxShares {
 		return nil, fmt.Errorf("fec: cannot produce %d repairs for k=%d", h, c.k)
 	}
-	shares := make([]Share, 0, h)
+	if err := c.checkData(data); err != nil {
+		return nil, err
+	}
+	size := len(data[0])
+	slab := make([]byte, h*size)
+	shares := make([]Share, h)
 	for i := 0; i < h; i++ {
-		s, err := c.Repair(data, c.k+i)
-		if err != nil {
-			return nil, err
-		}
-		shares = append(shares, s)
+		buf := slab[i*size : (i+1)*size : (i+1)*size]
+		c.repairInto(buf, data, c.k+i)
+		shares[i] = Share{Index: c.k + i, Data: buf}
 	}
 	return shares, nil
 }
@@ -89,18 +141,24 @@ var ErrInsufficientShares = errors.New("fec: insufficient shares to decode")
 // present in the input are returned by reference (not copied); treat
 // share buffers as immutable.
 func (c *Codec) Decode(shares []Share) ([][]byte, error) {
-	// Select k distinct shares, preferring data shares (free to place).
-	chosen := make(map[int]Share, c.k)
-	for _, s := range shares {
+	// Select k distinct shares by index, first occurrence winning, via a
+	// dense presence table (no per-call map).
+	var pick [MaxShares]int32
+	for i := range pick {
+		pick[i] = -1
+	}
+	distinct := 0
+	for i, s := range shares {
 		if s.Index < 0 || s.Index >= MaxShares {
 			return nil, fmt.Errorf("fec: share index %d out of range", s.Index)
 		}
-		if _, dup := chosen[s.Index]; !dup {
-			chosen[s.Index] = s
+		if pick[s.Index] < 0 {
+			pick[s.Index] = int32(i)
+			distinct++
 		}
 	}
-	if len(chosen) < c.k {
-		return nil, fmt.Errorf("%w: have %d distinct, need %d", ErrInsufficientShares, len(chosen), c.k)
+	if distinct < c.k {
+		return nil, fmt.Errorf("%w: have %d distinct, need %d", ErrInsufficientShares, distinct, c.k)
 	}
 	// Deterministic selection: data shares first, then lowest repair
 	// indices (lower indices make the decode matrix better conditioned in
@@ -108,7 +166,8 @@ func (c *Codec) Decode(shares []Share) ([][]byte, error) {
 	var size = -1
 	sel := make([]Share, 0, c.k)
 	for idx := 0; idx < MaxShares && len(sel) < c.k; idx++ {
-		if s, ok := chosen[idx]; ok {
+		if i := pick[idx]; i >= 0 {
+			s := shares[i]
 			if size < 0 {
 				size = len(s.Data)
 			} else if len(s.Data) != size {
@@ -119,17 +178,57 @@ func (c *Codec) Decode(shares []Share) ([][]byte, error) {
 	}
 
 	out := make([][]byte, c.k)
-	missing := false
+	nmissing := 0
 	for _, s := range sel {
 		if s.Index < c.k {
 			out[s.Index] = s.Data
 		} else {
-			missing = true
+			nmissing++
 		}
 	}
-	if !missing {
+	if nmissing == 0 {
 		// All data shares present: nothing to invert.
 		return out, nil
+	}
+
+	dec, err := c.decodeMatrix(sel)
+	if err != nil {
+		// Cannot happen: any k distinct rows of the systematic
+		// Vandermonde generator are linearly independent.
+		return nil, err
+	}
+	slab := make([]byte, nmissing*size)
+	next := 0
+	for i := 0; i < c.k; i++ {
+		if out[i] != nil {
+			continue
+		}
+		buf := slab[next*size : (next+1)*size : (next+1)*size]
+		next++
+		row := dec.row(i)
+		for j, coeff := range row {
+			addMulSlice(buf, sel[j].Data, coeff)
+		}
+		out[i] = buf
+	}
+	return out, nil
+}
+
+// decodeMatrix returns (computing and caching on miss) the inverse of the
+// generator rows selected by sel. sel is sorted by index and has exactly
+// k entries, so the index bytes form a canonical cache key.
+func (c *Codec) decodeMatrix(sel []Share) (*matrix, error) {
+	var keyBuf [MaxShares]byte
+	for i, s := range sel {
+		keyBuf[i] = byte(s.Index)
+	}
+	key := string(keyBuf[:len(sel)])
+
+	c.decMu.RLock()
+	dec, ok := c.decCache[key]
+	c.decMu.RUnlock()
+	if ok {
+		return dec, nil
 	}
 
 	rows := make([]int, len(sel))
@@ -138,22 +237,15 @@ func (c *Codec) Decode(shares []Share) ([][]byte, error) {
 	}
 	dec, err := c.gen.subMatrixRows(rows).invert()
 	if err != nil {
-		// Cannot happen: any k distinct rows of the systematic
-		// Vandermonde generator are linearly independent.
 		return nil, err
 	}
-	for i := 0; i < c.k; i++ {
-		if out[i] != nil {
-			continue
-		}
-		buf := make([]byte, size)
-		row := dec.row(i)
-		for j, coeff := range row {
-			addMulSlice(buf, sel[j].Data, coeff)
-		}
-		out[i] = buf
+	c.decMu.Lock()
+	if c.decCache == nil || len(c.decCache) >= maxDecodeCache {
+		c.decCache = make(map[string]*matrix)
 	}
-	return out, nil
+	c.decCache[key] = dec
+	c.decMu.Unlock()
+	return dec, nil
 }
 
 func (c *Codec) checkData(data [][]byte) error {

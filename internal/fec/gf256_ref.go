@@ -1,0 +1,54 @@
+package fec
+
+// Scalar reference kernels: the original per-byte log/exp implementations
+// the optimized table-driven kernels in gf256.go replaced. They are
+// retained (not build-tagged away) as the ground truth for the
+// result-equality property tests — the determinism guarantee of the fast
+// paths is "byte-identical to these, on every length and alignment".
+
+// gfMulRef multiplies in the log/exp domain, branching on zero.
+func gfMulRef(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return gfExp[gfLog[a]+gfLog[b]]
+}
+
+// mulSliceRef is the scalar reference for mulSlice.
+func mulSliceRef(dst, src []byte, c byte) {
+	if c == 0 {
+		clear(dst)
+		return
+	}
+	if c == 1 {
+		copy(dst, src)
+		return
+	}
+	lc := gfLog[c]
+	for i, s := range src {
+		if s == 0 {
+			dst[i] = 0
+		} else {
+			dst[i] = gfExp[lc+gfLog[s]]
+		}
+	}
+}
+
+// addMulSliceRef is the scalar reference for addMulSlice.
+func addMulSliceRef(dst, src []byte, c byte) {
+	if c == 0 {
+		return
+	}
+	if c == 1 {
+		for i, s := range src {
+			dst[i] ^= s
+		}
+		return
+	}
+	lc := gfLog[c]
+	for i, s := range src {
+		if s != 0 {
+			dst[i] ^= gfExp[lc+gfLog[s]]
+		}
+	}
+}

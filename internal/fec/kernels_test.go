@@ -1,0 +1,280 @@
+package fec
+
+// Result-equality tests for the optimized kernels: the table-driven
+// mulSlice/addMulSlice and the word-wide XOR path must be byte-identical
+// to the retained scalar reference kernels on every length, alignment,
+// and coefficient — that equality is what makes the fast paths
+// determinism-preserving by construction.
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"sync"
+	"testing"
+)
+
+func TestGFMulTableMatchesRef(t *testing.T) {
+	for a := 0; a < 256; a++ {
+		for b := 0; b < 256; b++ {
+			if got, want := gfMul(byte(a), byte(b)), gfMulRef(byte(a), byte(b)); got != want {
+				t.Fatalf("gfMul(%d, %d) = %d, ref = %d", a, b, got, want)
+			}
+		}
+	}
+}
+
+// TestKernelsMatchScalarReference sweeps random lengths and slice
+// offsets — including the unaligned head and the sub-word tail of the
+// 8-byte-wide path — for every coefficient class (0, 1, arbitrary).
+func TestKernelsMatchScalarReference(t *testing.T) {
+	r := rand.New(rand.NewPCG(42, 43))
+	backing := make([]byte, 4096)
+	for i := range backing {
+		backing[i] = byte(r.IntN(256))
+	}
+	coeffs := []byte{0, 1, 2, 3, 37, 128, 254, 255}
+	for trial := 0; trial < 500; trial++ {
+		off := r.IntN(64)
+		length := r.IntN(300) // covers 0, <8 (pure tail), and multi-word
+		src := backing[off : off+length]
+		c := coeffs[r.IntN(len(coeffs))]
+		if trial%3 == 0 {
+			c = byte(r.IntN(256))
+		}
+
+		dstOpt := make([]byte, length)
+		dstRef := make([]byte, length)
+		for i := range dstOpt {
+			v := byte(r.IntN(256))
+			dstOpt[i], dstRef[i] = v, v
+		}
+
+		mulSlice(dstOpt, src, c)
+		mulSliceRef(dstRef, src, c)
+		if !bytes.Equal(dstOpt, dstRef) {
+			t.Fatalf("mulSlice diverges from scalar ref: len=%d off=%d c=%d", length, off, c)
+		}
+
+		for i := range dstOpt {
+			v := byte(r.IntN(256))
+			dstOpt[i], dstRef[i] = v, v
+		}
+		addMulSlice(dstOpt, src, c)
+		addMulSliceRef(dstRef, src, c)
+		if !bytes.Equal(dstOpt, dstRef) {
+			t.Fatalf("addMulSlice diverges from scalar ref: len=%d off=%d c=%d", length, off, c)
+		}
+	}
+}
+
+// TestXorSliceUnalignedTail pins the head/tail handling of the word-wide
+// XOR path at every length around the 8-byte boundary.
+func TestXorSliceUnalignedTail(t *testing.T) {
+	r := rand.New(rand.NewPCG(5, 6))
+	for length := 0; length <= 40; length++ {
+		src := make([]byte, length)
+		dst := make([]byte, length)
+		want := make([]byte, length)
+		for i := 0; i < length; i++ {
+			src[i] = byte(r.IntN(256))
+			dst[i] = byte(r.IntN(256))
+			want[i] = dst[i] ^ src[i]
+		}
+		xorSlice(dst, src)
+		if !bytes.Equal(dst, want) {
+			t.Fatalf("xorSlice wrong at length %d", length)
+		}
+	}
+}
+
+// TestGFPowLargeExponents verifies the mod-255 exponent reduction: a^n
+// must equal a^(n mod 255) for exponents far beyond what the unreduced
+// gfLog[a]*n product could safely represent, and must stay consistent
+// with iterative multiplication.
+func TestGFPowLargeExponents(t *testing.T) {
+	for _, a := range []byte{1, 2, 3, 29, 255} {
+		acc := byte(1)
+		for n := 0; n < 600; n++ {
+			if got := gfPow(a, n); got != acc {
+				t.Fatalf("gfPow(%d, %d) = %d, iterative = %d", a, n, got, acc)
+			}
+			acc = gfMul(acc, a)
+		}
+		for _, n := range []int{1 << 20, 1<<40 + 17, 1<<62 - 1} {
+			if got, want := gfPow(a, n), gfPow(a, n%255); got != want {
+				t.Fatalf("gfPow(%d, %d) = %d, want a^(n mod 255) = %d", a, n, got, want)
+			}
+		}
+	}
+	if gfPow(7, -1) != gfInv(7) {
+		t.Fatalf("gfPow(7, -1) = %d, want inverse %d", gfPow(7, -1), gfInv(7))
+	}
+}
+
+// TestDecodeMatrixCacheHitMiss decodes the same erasure pattern twice
+// through the shared (memoized) codec — the second decode is a cache
+// hit — and checks both against a fresh cache-free codec instance.
+func TestDecodeMatrixCacheHitMiss(t *testing.T) {
+	const k = 8
+	cached, err := NewCodec(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := newCodecUncached(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewPCG(11, 12))
+	data := mkData(r, k, 200)
+	repairs, err := cached.Repairs(data, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Erasure pattern: data shares 1 and 5 lost, replaced by repairs.
+	shares := []Share{repairs[0], repairs[1]}
+	for i := 0; i < k; i++ {
+		if i != 1 && i != 5 {
+			shares = append(shares, Share{Index: i, Data: data[i]})
+		}
+	}
+	for pass := 0; pass < 2; pass++ { // pass 0 = miss, pass 1 = hit
+		got, err := cached.Decode(shares)
+		if err != nil {
+			t.Fatalf("pass %d: %v", pass, err)
+		}
+		want, err := fresh.Decode(shares)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if !bytes.Equal(got[i], want[i]) {
+				t.Fatalf("pass %d: cached decode diverges from cache-free at share %d", pass, i)
+			}
+			if !bytes.Equal(got[i], data[i]) {
+				t.Fatalf("pass %d: decode did not recover share %d", pass, i)
+			}
+		}
+	}
+	cached.decMu.RLock()
+	entries := len(cached.decCache)
+	cached.decMu.RUnlock()
+	if entries == 0 {
+		t.Fatal("decode-matrix cache never populated")
+	}
+}
+
+// TestNewCodecMemoized pins the memoization contract: same k returns the
+// same instance; different k never does.
+func TestNewCodecMemoized(t *testing.T) {
+	a, err := NewCodec(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewCodec(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("NewCodec(16) returned distinct instances")
+	}
+	c, err := NewCodec(17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Fatal("NewCodec(17) returned the k=16 instance")
+	}
+}
+
+// TestCodecConcurrentDecode hammers one shared codec from many
+// goroutines with distinct erasure patterns — the parallel-ensemble
+// usage — and is meaningful under -race.
+func TestCodecConcurrentDecode(t *testing.T) {
+	const k = 8
+	c, err := NewCodec(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := mkData(rand.New(rand.NewPCG(21, 22)), k, 128)
+	repairs, err := c.Repairs(data, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewPCG(uint64(w), 7))
+			for iter := 0; iter < 50; iter++ {
+				lost := map[int]bool{}
+				for len(lost) < 3 {
+					lost[r.IntN(k)] = true
+				}
+				var shares []Share
+				ri := 0
+				for i := 0; i < k; i++ {
+					if lost[i] {
+						shares = append(shares, repairs[ri])
+						ri++
+					} else {
+						shares = append(shares, Share{Index: i, Data: data[i]})
+					}
+				}
+				dec, err := c.Decode(shares)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for i := range data {
+					if !bytes.Equal(dec[i], data[i]) {
+						t.Errorf("worker %d: wrong data at %d", w, i)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// FuzzAddMulSliceMatchesRef fuzzes the optimized add-multiply kernel
+// against the scalar reference on arbitrary payloads, coefficients, and
+// a fuzzer-chosen slice offset (alignment).
+func FuzzAddMulSliceMatchesRef(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9}, byte(37), uint8(1))
+	f.Add([]byte{0, 0, 0}, byte(0), uint8(0))
+	f.Add(bytes.Repeat([]byte{0xAB}, 64), byte(1), uint8(7))
+	f.Fuzz(func(t *testing.T, src []byte, c byte, off uint8) {
+		if int(off) > len(src) {
+			off = uint8(len(src))
+		}
+		src = src[off:]
+		dstOpt := make([]byte, len(src))
+		dstRef := make([]byte, len(src))
+		for i := range src {
+			dstOpt[i] = src[i] ^ 0x5C
+			dstRef[i] = dstOpt[i]
+		}
+		addMulSlice(dstOpt, src, c)
+		addMulSliceRef(dstRef, src, c)
+		if !bytes.Equal(dstOpt, dstRef) {
+			t.Fatalf("addMulSlice(c=%d, len=%d) diverges from scalar reference", c, len(src))
+		}
+	})
+}
+
+// FuzzMulSliceMatchesRef is the mulSlice counterpart.
+func FuzzMulSliceMatchesRef(f *testing.F) {
+	f.Add([]byte{255, 254, 1, 0}, byte(2))
+	f.Add([]byte{}, byte(9))
+	f.Fuzz(func(t *testing.T, src []byte, c byte) {
+		dstOpt := make([]byte, len(src))
+		dstRef := make([]byte, len(src))
+		mulSlice(dstOpt, src, c)
+		mulSliceRef(dstRef, src, c)
+		if !bytes.Equal(dstOpt, dstRef) {
+			t.Fatalf("mulSlice(c=%d, len=%d) diverges from scalar reference", c, len(src))
+		}
+	})
+}

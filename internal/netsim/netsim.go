@@ -87,6 +87,16 @@ type Network struct {
 	// current transmission; dir 0 = A→B, 1 = B→A.
 	linkFree [][2]eventq.Time
 
+	// hopFree recycles pendingHop structs (and their pre-bound handler
+	// closures) across the multicast fan-out path, so a delivery hop
+	// costs no allocation in steady state. Single-goroutine by design —
+	// the simulation runs on one event loop — so a plain free list
+	// suffices and stays deterministic.
+	hopFree []*pendingHop
+	// needScratch is the reusable membership-marking buffer for
+	// prunedChildren cache builds.
+	needScratch []bool
+
 	// QueueLimit bounds each link direction's transmit backlog in
 	// packets; beyond it, packets are tail-dropped (congestion loss).
 	// Zero means unbounded (the paper's model: loss is Bernoulli only).
@@ -240,7 +250,11 @@ func (n *Network) prunedChildren(src topology.NodeID, zone scoping.ZoneID) [][]t
 		return p
 	}
 	tree := n.Tree(src)
-	needed := make([]bool, n.G.NumNodes())
+	if len(n.needScratch) < n.G.NumNodes() {
+		n.needScratch = make([]bool, n.G.NumNodes())
+	}
+	needed := n.needScratch[:n.G.NumNodes()]
+	clear(needed)
 	for _, m := range n.H.Members(zone) {
 		needed[m] = true
 	}
@@ -380,14 +394,61 @@ func (n *Network) forward(t eventq.Time, tree *topology.Tree, children [][]topol
 		}
 	}
 
-	n.Q.At(arrive, func(now eventq.Time) {
-		if isMember[v] {
-			n.deliver(now, tree, v, Delivery{From: tree.Root, Scope: zone, Pkt: pkt})
-		}
-		for _, c := range children[v] {
-			n.forward(now, tree, children, isMember, v, c, zone, pkt)
-		}
-	})
+	h := n.acquireHop()
+	h.tree, h.children, h.isMember = tree, children, isMember
+	h.v, h.zone, h.pkt = v, zone, pkt
+	n.Q.At(arrive, h.fn)
+}
+
+// pendingHop is a packet in flight toward node v: the forwarding state
+// its arrival handler needs, pooled on the Network so the per-hop
+// closure and its captures are recycled instead of reallocated.
+type pendingHop struct {
+	n        *Network
+	tree     *topology.Tree
+	children [][]topology.NodeID
+	isMember []bool
+	v        topology.NodeID
+	zone     scoping.ZoneID
+	pkt      packet.Packet
+	// fn is the handler bound once to this struct; reusing it across
+	// recycles keeps steady-state hops allocation-free.
+	fn eventq.Handler
+}
+
+// run delivers the arrived packet (if v is a member), forwards to v's
+// pruned children, and returns the hop to the pool.
+func (h *pendingHop) run(now eventq.Time) {
+	n, tree, children, isMember := h.n, h.tree, h.children, h.isMember
+	v, zone, pkt := h.v, h.zone, h.pkt
+	n.releaseHop(h)
+	if isMember[v] {
+		n.deliver(now, tree, v, Delivery{From: tree.Root, Scope: zone, Pkt: pkt})
+	}
+	for _, c := range children[v] {
+		n.forward(now, tree, children, isMember, v, c, zone, pkt)
+	}
+}
+
+// acquireHop takes a hop from the free list (or allocates the first
+// time), with its handler closure already bound.
+func (n *Network) acquireHop() *pendingHop {
+	if l := len(n.hopFree); l > 0 {
+		h := n.hopFree[l-1]
+		n.hopFree[l-1] = nil
+		n.hopFree = n.hopFree[:l-1]
+		return h
+	}
+	h := &pendingHop{n: n}
+	h.fn = h.run
+	return h
+}
+
+// releaseHop clears the hop's references (so recycled entries never pin
+// packets or routing trees) and returns it to the pool.
+func (n *Network) releaseHop(h *pendingHop) {
+	h.tree, h.children, h.isMember, h.pkt = nil, nil, nil, nil
+	n.hopFree = append(n.hopFree, h)
 }
 
 // pktCorrelation extracts the span-correlation fields from a packet:

@@ -9,6 +9,10 @@ import (
 	"sharqfec/internal/topology"
 )
 
+// sweepParallelism caps the worker pool RunTimerSweep (and RunEnsemble)
+// fan out to. Overridable in tests.
+var sweepParallelism = runtimeGOMAXPROCS
+
 // TimerSweepPoint is one point of the §7 timer-constant exploration:
 // SHARQFEC run with the request/reply constants scaled by Multiplier.
 type TimerSweepPoint struct {
@@ -30,17 +34,28 @@ type TimerSweepPoint struct {
 // future-work note observes fixed constants cannot fit every topology;
 // the sweep exposes the latency/duplicate-suppression trade-off the
 // constants control.
+// Points run in parallel across a bounded worker pool: each point is an
+// independent simulation with its own event queue and a seed derived
+// only from (seed, multiplier position), so results are deterministic
+// and returned in multiplier order regardless of scheduling.
 func RunTimerSweep(seed uint64, multipliers []float64) ([]TimerSweepPoint, error) {
 	if len(multipliers) == 0 {
 		multipliers = []float64{0.5, 1, 2, 4}
 	}
-	var out []TimerSweepPoint
-	for _, mult := range multipliers {
-		pt, err := runTimerPoint(seed, mult)
+	out := make([]TimerSweepPoint, len(multipliers))
+	errs := make([]error, len(multipliers))
+	runIndexed(len(multipliers), func(i int) {
+		pt, err := runTimerPoint(seed, multipliers[i])
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		out[i] = *pt
+	})
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, *pt)
 	}
 	return out, nil
 }
