@@ -16,8 +16,12 @@ import (
 
 	"sharqfec/internal/analysis"
 	"sharqfec/internal/eventq"
+	"sharqfec/internal/faults"
 	"sharqfec/internal/fec"
 	"sharqfec/internal/packet"
+	"sharqfec/internal/ratecontrol"
+	"sharqfec/internal/scoping"
+	"sharqfec/internal/simrand"
 	"sharqfec/internal/telemetry"
 	"sharqfec/internal/telemetry/spans"
 	"sharqfec/internal/topology"
@@ -543,4 +547,32 @@ func BenchmarkSpanAssembly(b *testing.B) {
 	}
 	b.ReportMetric(float64(len(events))/float64(b.Elapsed().Nanoseconds())*float64(b.N)*1e3, "events/µs")
 	b.ReportMetric(float64(nspans), "spans")
+}
+
+// --- E18: adaptive rate control (see EXPERIMENTS.md) ---
+
+// BenchmarkControllerDecision pins the adaptive decision path: one
+// Decide call for a paper-sized group (k=16) with a warmed estimator
+// and scratch buffers. The CI gate holds this at 0 allocs/op — the
+// decision sits on the group-completion hot path of every repairer.
+func BenchmarkControllerDecision(b *testing.B) {
+	c := ratecontrol.New(ratecontrol.Config{})
+	src := simrand.New(1)
+	model, err := faults.NewBurst(src.Stream("bench/burst"), 0.15, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 10_000; i++ {
+		c.ObservePacket(model.Drop())
+	}
+	zone := scoping.ZoneID(1)
+	c.ObserveZLC(zone, 4)
+	c.Decide(zone, 16, 0) // warm the DP scratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	h := 0
+	for i := 0; i < b.N; i++ {
+		h = c.Decide(zone, 16, i&3).H
+	}
+	b.ReportMetric(float64(h), "h")
 }

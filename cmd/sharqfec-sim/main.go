@@ -35,6 +35,12 @@
 //	-perfetto          write the recovery spans as Chrome trace-event
 //	                   JSON (Perfetto / chrome://tracing); implies -spans
 //	-flight-recorder   keep a ring of the last N control-plane events
+//	-ratecontrol       preemptive-FEC sizing policy: off | static |
+//	                   adaptive (default off; static is byte-identical
+//	                   to off per seed, adaptive sizes redundancy from
+//	                   an online Gilbert–Elliott burst-loss fit)
+//	-rc-budget         adaptive repair budget as a fraction of the
+//	                   group size (default 0.5)
 package main
 
 import (
@@ -73,6 +79,8 @@ func main() {
 	spansFlag := flag.Bool("spans", false, "assemble causal recovery spans and print the recovery report")
 	perfettoPath := flag.String("perfetto", "", "write recovery spans as Chrome trace-event JSON (implies -spans)")
 	flightRec := flag.Int("flight-recorder", 0, "keep a ring of the last N control-plane events")
+	rcFlag := flag.String("ratecontrol", "off", "rate-control policy (off | static | adaptive)")
+	rcBudget := flag.Float64("rc-budget", 0, "adaptive repair budget as a fraction of group size (0 = default 0.5)")
 	flag.Parse()
 
 	proto, err := sharqfec.ParseProtocol(*protoFlag)
@@ -125,6 +133,13 @@ func main() {
 		Seed:       *seed,
 		NumPackets: *packets,
 		Until:      *until,
+	}
+	rcMode, err := sharqfec.ParseRateControlMode(*rcFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if rcMode != sharqfec.RateControlOff {
+		cfg.RateControl = &sharqfec.RateControlConfig{Mode: rcMode, Budget: *rcBudget}
 	}
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)
@@ -197,6 +212,13 @@ func main() {
 	fmt.Printf("payloads verified: %v\n", res.Verified)
 	fmt.Printf("NACKs sent:       %d\n", res.NACKsSent)
 	fmt.Printf("repairs sent:     %d (preemptively injected: %d)\n", res.RepairsSent, res.RepairsInjected)
+	if rcMode != sharqfec.RateControlOff {
+		fmt.Printf("rate control:     %s", rcMode)
+		if t := res.Telemetry; t != nil {
+			fmt.Printf(" (%d decisions, max h %d)", t.ControllerDecisions, t.ControllerMaxH)
+		}
+		fmt.Println()
+	}
 	fmt.Printf("session packets:  %d\n", res.SessionPackets)
 	fmt.Printf("avg pkts/receiver:     %.1f (data+repair)\n", res.AvgDataRepair.Sum())
 	fmt.Printf("avg NACKs/receiver:    %.1f\n", res.AvgNACKs.Sum())

@@ -53,6 +53,11 @@ type DataConfig struct {
 	// bus, metrics time series, optional JSONL trace). nil leaves the
 	// run byte-identical to an uninstrumented one at the same seed.
 	Telemetry *TelemetryConfig
+	// RateControl selects the preemptive-FEC sizing policy (see
+	// RateControlConfig). nil (or mode off/static) keeps the paper's
+	// static EWMA policy — byte-identical to a build without the seam.
+	// SRM ignores it (no FEC).
+	RateControl *RateControlConfig
 }
 
 func (c *DataConfig) applyDefaults() {
@@ -162,6 +167,7 @@ func runSHARQFEC(cfg DataConfig, opts core.Options) (*DataResult, error) {
 	if cfg.GroupK > 0 {
 		pcfg.GroupK = cfg.GroupK
 	}
+	pcfg.NewController = cfg.RateControl.factory(pcfg)
 
 	agents := make(map[topology.NodeID]*core.Agent, len(spec.Receivers)+1)
 	// allAgents keeps every agent ever created — including those

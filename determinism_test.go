@@ -126,3 +126,27 @@ const (
 	goldenChaosCrash31    = "b032a4e5ed4e8d416e4b8167a8a9c2abfa5149595768c3bd1712b6665a02c985"
 	goldenChaosBackbone11 = "5c38ba696a2c54e7962c1b0855253611e80617d4dc12ac5b8b84fd61f72b27a1"
 )
+
+// TestStaticRateControlDigestMatchesOff pins the rate-control seam: an
+// explicit static controller must reproduce the built-in default
+// byte-for-byte — same digest, both against the pre-seam golden hash —
+// so `-ratecontrol=static` is a rename of `off`, never a behavior
+// change.
+func TestStaticRateControlDigestMatchesOff(t *testing.T) {
+	run := func(rc *RateControlConfig) string {
+		t.Helper()
+		res, err := RunData(DataConfig{
+			Protocol: SHARQFEC, Seed: 21, RateControl: rc,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dataDigest(res)
+	}
+	off := run(nil)
+	static := run(&RateControlConfig{Mode: RateControlStatic})
+	if off != static {
+		t.Errorf("static rate control diverged from off:\n off    %s\n static %s", off, static)
+	}
+	checkDigest(t, static, goldenSHARQFEC21)
+}

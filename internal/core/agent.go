@@ -47,9 +47,11 @@ type Agent struct {
 	iptInit  bool
 	lastData eventq.Time
 
-	// predZLC is the EWMA-predicted zone loss count, maintained by the
-	// sender (root scope) and by ZCRs (their zones).
-	predZLC map[scoping.ZoneID]float64
+	// ctrl sizes preemptive FEC injection: the predicted zone loss
+	// counts maintained by the sender (root scope) and by ZCRs (their
+	// zones) live behind it. Always non-nil; the static policy is the
+	// default.
+	ctrl Controller
 
 	// sendData holds the source's original payloads by group.
 	sendData map[uint32][][]byte
@@ -100,8 +102,13 @@ func New(node topology.NodeID, net fabric.Network, cfg Config, src *simrand.Sour
 		c1:            cfg.C1,
 		c2:            cfg.C2,
 		ipt:           cfg.InterPacket(), // advertised rate bootstraps the estimate
-		predZLC:       make(map[scoping.ZoneID]float64),
 		tel:           cfg.Telemetry,
+	}
+	if cfg.NewController != nil {
+		a.ctrl = cfg.NewController(node)
+	}
+	if a.ctrl == nil {
+		a.ctrl = NewStaticController(cfg.EWMAOld, cfg.EWMANew)
 	}
 	cfg.Session.Telemetry = cfg.Telemetry
 	a.sess = session.New(node, net, cfg.Session, src.StreamN("session", int(node)))
@@ -226,10 +233,12 @@ func (a *Agent) senderGroupEnd(now eventq.Time, gid uint32) {
 	g.maxShare = a.cfg.GroupK - 1
 
 	if a.cfg.Options.Injection {
-		h := int(a.predZLC[a.root] + 0.5)
-		if h > 0 {
-			a.injectRepairs(now, g, a.root, h)
-			a.Stats.RepairsInjected += h
+		// The source's own stream never saw upstream injections, so
+		// nothing is netted out: repairsHeard = 0.
+		dec := a.decide(now, g, a.root, 0)
+		if dec.H > 0 {
+			a.injectRepairs(now, g, a.root, dec.H)
+			a.Stats.RepairsInjected += dec.H
 		}
 	}
 	// Serve any repairs NACKed during the loss-detection phase,
@@ -344,6 +353,20 @@ func (a *Agent) emit(now eventq.Time, kind telemetry.Kind, zone scoping.ZoneID,
 		Group: group, A: av, B: bv, F: f,
 	})
 }
+
+// decide consults the rate controller for one zone's injection size and
+// publishes the decision as a telemetry event (Zone = target zone,
+// A = shares owed, B = group size, F = predictor state). Emission is
+// passive, so instrumented and plain runs stay byte-identical per seed.
+func (a *Agent) decide(now eventq.Time, g *group, z scoping.ZoneID, repairsHeard int) Decision {
+	dec := a.ctrl.Decide(z, g.k, repairsHeard)
+	a.emit(now, telemetry.KindControllerDecision, z, int64(g.id), int64(dec.H), int64(dec.K), dec.Pred)
+	return dec
+}
+
+// PredictedZLC exposes the controller's predicted zone loss count for
+// z (0 before any ZLC sample), for tests and experiment reports.
+func (a *Agent) PredictedZLC(z scoping.ZoneID) float64 { return a.ctrl.Predict(z) }
 
 // isZCR reports whether this agent is currently the ZCR of zone z (the
 // source acts as the root's ZCR; the role is disabled entirely without

@@ -98,6 +98,13 @@ type Config struct {
 	// (NACK/repair lifecycle, losses, decodes, injections). nil — the
 	// default — keeps every emission site a single nil check.
 	Telemetry *telemetry.Bus
+
+	// NewController, when non-nil, builds the per-agent rate controller
+	// sizing preemptive FEC injection (one controller per agent; the
+	// node identifies it on reports). nil — the default — uses the
+	// paper's static EWMA predictor, so the zero value stays
+	// byte-identical to the pre-Controller protocol per seed.
+	NewController func(node topology.NodeID) Controller
 }
 
 // DefaultConfig returns the paper's §6.2 parameters with the full

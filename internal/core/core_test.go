@@ -559,7 +559,7 @@ func TestInjectionPredictorMatchesCascadeModel(t *testing.T) {
 
 	// Root: the source covers the worst source→mesh path (18.8%).
 	wantRoot := analysis.ExpectedZLC(16, 0.188, 1)
-	gotRoot := w.agents[0].predZLC[w.net.H.Root()]
+	gotRoot := w.agents[0].PredictedZLC(w.net.H.Root())
 	if math.Abs(gotRoot-wantRoot) > 1.5 {
 		t.Fatalf("root predictor %.2f vs cascade model %.2f", gotRoot, wantRoot)
 	}
@@ -570,8 +570,12 @@ func TestInjectionPredictorMatchesCascadeModel(t *testing.T) {
 	sum, n := 0.0, 0
 	for mesh := topology.NodeID(1); mesh <= 7; mesh++ {
 		ag := w.agents[mesh]
-		for z, v := range ag.predZLC {
-			if w.net.H.Level(z) == 1 {
+		for z := 0; z < w.net.H.NumZones(); z++ {
+			zone := scoping.ZoneID(z)
+			if w.net.H.Level(zone) != 1 {
+				continue
+			}
+			if v := ag.PredictedZLC(zone); v > 0 {
 				sum += v
 				n++
 			}

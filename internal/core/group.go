@@ -122,6 +122,9 @@ func (a *Agent) handleData(now eventq.Time, p *packet.Data) {
 		for s := a.maxSeq + 1; s < int64(p.Seq); s++ {
 			a.noteLoss(now, uint32(s))
 		}
+		// The arrival itself, fed after the gap it revealed so the
+		// controller sees the stream in sequence order.
+		a.ctrl.ObservePacket(false)
 		a.maxSeq = int64(p.Seq)
 		if a.sess.MaxSeq < p.Seq+1 {
 			a.sess.MaxSeq = p.Seq + 1
@@ -165,6 +168,7 @@ func (a *Agent) noteLoss(now eventq.Time, s uint32) {
 	g.counted[idx] = true
 	g.lossed[idx] = true
 	g.llc++
+	a.ctrl.ObservePacket(true)
 	a.emit(now, telemetry.KindLossDetected, scoping.NoZone, int64(gid), int64(s), 0, 0)
 	if g.complete {
 		return
@@ -219,6 +223,7 @@ func (a *Agent) ldpExpired(now eventq.Time, g *group) {
 			g.counted[idx] = true
 			g.lossed[idx] = true
 			g.llc++
+			a.ctrl.ObservePacket(true)
 			a.emit(now, telemetry.KindLossDetected, scoping.NoZone, int64(g.id), int64(base)+int64(idx), 0, 0)
 		}
 	}

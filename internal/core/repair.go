@@ -29,10 +29,10 @@ func (a *Agent) becomeRepairer(now eventq.Time, g *group) {
 			// (repairs heard from upstream injections): "should too
 			// much redundancy be injected at one level, receivers in
 			// subservient zones will add less" (§3.2).
-			h := int(a.predZLC[z]+0.5) - g.repairsHeard
-			if h > 0 {
-				a.injectRepairs(now, g, z, h)
-				a.Stats.RepairsInjected += h
+			dec := a.decide(now, g, z, g.repairsHeard)
+			if dec.H > 0 {
+				a.injectRepairs(now, g, z, dec.H)
+				a.Stats.RepairsInjected += dec.H
 			}
 		}
 	}
@@ -183,7 +183,7 @@ func (a *Agent) transmitRepair(now eventq.Time, g *group, z scoping.ZoneID, idx,
 // telemetry event carries the EWMA predictor state that sized the
 // injection.
 func (a *Agent) injectRepairs(now eventq.Time, g *group, z scoping.ZoneID, h int) {
-	a.emit(now, telemetry.KindRepairInjected, z, int64(g.id), int64(h), int64(g.repairsHeard), a.predZLC[z])
+	a.emit(now, telemetry.KindRepairInjected, z, int64(g.id), int64(h), int64(g.repairsHeard), a.ctrl.Predict(z))
 	a.sendRepairBurst(now, g, z, h)
 }
 
@@ -201,8 +201,9 @@ func (a *Agent) codecMaxShare() int { return 255 }
 
 // scheduleZLCSample arms the predicted-ZLC measurement for zone z: the
 // true ZLC is known 2.5 RTTs (to the most distant member) after the
-// group ends (§4), at which point the EWMA filter absorbs it. When no
-// NACK reported a loss, the agent's own LLC stands in for the ZLC.
+// group ends (§4), at which point the controller's predictor absorbs
+// it. When no NACK reported a loss, the agent's own LLC stands in for
+// the ZLC.
 func (a *Agent) scheduleZLCSample(now eventq.Time, g *group, z scoping.ZoneID) {
 	if g.zlcSampled[z] {
 		return
@@ -214,7 +215,7 @@ func (a *Agent) scheduleZLCSample(now eventq.Time, g *group, z scoping.ZoneID) {
 		if sample == 0 {
 			sample = float64(g.llc)
 		}
-		a.predZLC[z] = a.cfg.EWMAOld*a.predZLC[z] + a.cfg.EWMANew*sample
+		a.ctrl.ObserveZLC(z, sample)
 	})
 }
 

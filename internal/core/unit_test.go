@@ -147,15 +147,15 @@ func TestPredictedZLCFilter(t *testing.T) {
 	g.zlc[a.root] = 4
 	a.scheduleZLCSample(0, g, a.root)
 	w.net.Q.Run()
-	if math.Abs(a.predZLC[a.root]-1.0) > 1e-9 { // 0.75·0 + 0.25·4
-		t.Fatalf("predZLC = %v, want 1.0", a.predZLC[a.root])
+	if math.Abs(a.PredictedZLC(a.root)-1.0) > 1e-9 { // 0.75·0 + 0.25·4
+		t.Fatalf("predZLC = %v, want 1.0", a.PredictedZLC(a.root))
 	}
 	g2 := a.ensureGroup(1)
 	g2.zlc[a.root] = 4
 	a.scheduleZLCSample(0, g2, a.root)
 	w.net.Q.Run()
-	if math.Abs(a.predZLC[a.root]-1.75) > 1e-9 { // 0.75·1 + 0.25·4
-		t.Fatalf("predZLC = %v, want 1.75", a.predZLC[a.root])
+	if math.Abs(a.PredictedZLC(a.root)-1.75) > 1e-9 { // 0.75·1 + 0.25·4
+		t.Fatalf("predZLC = %v, want 1.75", a.PredictedZLC(a.root))
 	}
 }
 
@@ -168,8 +168,8 @@ func TestZLCSampleUsesOwnLLCWhenNoNACKs(t *testing.T) {
 	g.llc = 2 // no NACKs heard: the agent's own LLC stands in (§4)
 	a.scheduleZLCSample(0, g, a.root)
 	w.net.Q.Run()
-	if math.Abs(a.predZLC[a.root]-0.5) > 1e-9 {
-		t.Fatalf("predZLC = %v, want 0.5", a.predZLC[a.root])
+	if math.Abs(a.PredictedZLC(a.root)-0.5) > 1e-9 {
+		t.Fatalf("predZLC = %v, want 0.5", a.PredictedZLC(a.root))
 	}
 }
 

@@ -50,6 +50,32 @@ func NewBurst(rng *simrand.Rand, meanLoss, burstLen float64) (*GilbertElliott, e
 	return NewGilbertElliott(rng, pGB, pBG, 0, 1), nil
 }
 
+// Params returns the chain's transition and per-state loss
+// probabilities — the ground truth an online estimator (see
+// internal/ratecontrol) should converge to.
+func (g *GilbertElliott) Params() (pGoodBad, pBadGood, lossGood, lossBad float64) {
+	return g.pGoodBad, g.pBadGood, g.lossGood, g.lossBad
+}
+
+// StationaryLoss returns the chain's stationary mean drop rate:
+// the state-occupancy-weighted mix of the per-state loss probabilities.
+func (g *GilbertElliott) StationaryLoss() float64 {
+	if g.pGoodBad+g.pBadGood <= 0 {
+		return g.lossGood
+	}
+	pBad := g.pGoodBad / (g.pGoodBad + g.pBadGood)
+	return (1-pBad)*g.lossGood + pBad*g.lossBad
+}
+
+// MeanBurstLen returns the mean Bad-state sojourn in packets,
+// 1/PBadGood (the mean loss-burst length for the classic model).
+func (g *GilbertElliott) MeanBurstLen() float64 {
+	if g.pBadGood <= 0 {
+		return 1
+	}
+	return 1 / g.pBadGood
+}
+
 // Drop implements netsim.LossModel: emit from the current state, then
 // advance the chain.
 func (g *GilbertElliott) Drop() bool {

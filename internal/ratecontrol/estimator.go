@@ -1,0 +1,120 @@
+// Package ratecontrol implements burst-aware adaptive per-zone FEC
+// rate control for SHARQFEC (the ROADMAP's TAROT direction): an online
+// Gilbert–Elliott loss estimator fit from the reception sequence each
+// agent already observes, and an adaptive core.Controller policy that
+// sizes per-group redundancy by minimizing expected recovery cost
+// subject to a repair-overhead budget.
+//
+// The paper's static policy (EWMA predicted-ZLC, rounded) protects
+// against the *mean* loss per group. Under correlated burst loss the
+// same mean concentrates into few groups, so the static h is too small
+// exactly when it matters and nonzero when it doesn't. The adaptive
+// policy models the loss process as a two-state Markov chain and picks
+// the smallest h whose marginal cost (one more paced repair share)
+// outweighs the marginal drop in P(group needs an ARQ round).
+package ratecontrol
+
+// Estimator fits a two-state Gilbert–Elliott loss model online from a
+// binary received/lost sequence by counting state transitions. For the
+// classic Gilbert parameterization (loss probability 0 in Good, 1 in
+// Bad — what faults.NewBurst installs) the observed loss sequence *is*
+// the hidden state sequence, so transition counting is the exact
+// maximum-likelihood fit; for leaky variants (LossGood > 0) it
+// estimates the observable loss-run process instead, which is what
+// redundancy sizing needs anyway.
+//
+// A sliding exponential window (see NewEstimator) lets the fit track
+// regime changes; the zero window never forgets. The estimator is
+// RNG-free and allocation-free per observation.
+type Estimator struct {
+	started  bool
+	prevLost bool
+	// Exponentially-decayed transition counts: nXY counts prev-state X
+	// → next-state Y, with 0 = received, 1 = lost.
+	n00, n01, n10, n11 float64
+	decay              float64
+	obs                uint64
+}
+
+// NewEstimator returns an estimator with an effective observation
+// window of roughly `window` packets (counts decay by 1-1/window per
+// observation). window <= 0 means an infinite window: every
+// observation keeps full weight forever.
+func NewEstimator(window int) *Estimator {
+	d := 1.0
+	if window > 0 {
+		d = 1 - 1/float64(window)
+	}
+	return &Estimator{decay: d}
+}
+
+// Observe ingests the next packet of the sequence: lost = true when it
+// was declared lost, false when it arrived. Order matters — the fit is
+// over consecutive pairs.
+func (e *Estimator) Observe(lost bool) {
+	e.obs++
+	if e.decay != 1 {
+		e.n00 *= e.decay
+		e.n01 *= e.decay
+		e.n10 *= e.decay
+		e.n11 *= e.decay
+	}
+	if e.started {
+		switch {
+		case !e.prevLost && !lost:
+			e.n00++
+		case !e.prevLost && lost:
+			e.n01++
+		case e.prevLost && !lost:
+			e.n10++
+		default:
+			e.n11++
+		}
+	}
+	e.started = true
+	e.prevLost = lost
+}
+
+// Observations returns how many packets have been ingested.
+func (e *Estimator) Observations() uint64 { return e.obs }
+
+// PGoodBad returns the fitted Good→Bad transition probability
+// (0 before any received→X transition is seen).
+func (e *Estimator) PGoodBad() float64 {
+	if t := e.n00 + e.n01; t > 0 {
+		return e.n01 / t
+	}
+	return 0
+}
+
+// PBadGood returns the fitted Bad→Good transition probability
+// (1 before any lost→X transition is seen: bursts of length 1 until
+// the data says otherwise).
+func (e *Estimator) PBadGood() float64 {
+	if t := e.n10 + e.n11; t > 0 {
+		return e.n10 / t
+	}
+	return 1
+}
+
+// StationaryLoss returns the fitted chain's stationary mean loss rate,
+// PGoodBad/(PGoodBad+PBadGood) — directly comparable to the generating
+// model's calibrated mean (faults.GilbertElliott.StationaryLoss).
+func (e *Estimator) StationaryLoss() float64 {
+	pGB, pBG := e.PGoodBad(), e.PBadGood()
+	if pGB+pBG <= 0 {
+		return 0
+	}
+	return pGB / (pGB + pBG)
+}
+
+// MeanBurstLen returns the fitted mean loss-burst length in packets,
+// 1/PBadGood (1 before any loss is observed). An all-lost history has
+// PBadGood = 0; the result is capped so callers never see +Inf.
+func (e *Estimator) MeanBurstLen() float64 {
+	pBG := e.PBadGood()
+	if pBG < 1e-9 {
+		pBG = 1e-9
+	}
+	return 1 / pBG
+}

@@ -111,6 +111,15 @@ const (
 	// KindZoneMember: Node is a leaf member of Zone.
 	KindZoneMember
 
+	// Rate-control events from internal/core's Controller seam.
+
+	// KindControllerDecision: the rate controller sized one group's
+	// preemptive redundancy for a zone. Zone = target zone, Group = the
+	// FEC group, A = repair shares owed (<= 0 when upstream redundancy
+	// already covers the prediction), B = group size k, F = the
+	// predictor state (predicted zone loss count) behind the decision.
+	KindControllerDecision
+
 	numKinds
 )
 
@@ -137,6 +146,8 @@ var kindNames = [numKinds]string{
 	KindFaultDrop:        "fault_drop",
 	KindZoneInfo:         "zone_info",
 	KindZoneMember:       "zone_member",
+
+	KindControllerDecision: "controller_decision",
 }
 
 func (k Kind) String() string {

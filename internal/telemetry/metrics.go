@@ -3,6 +3,7 @@ package telemetry
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"sharqfec/internal/packet"
 	"sharqfec/internal/scoping"
@@ -41,6 +42,13 @@ type zoneCells struct {
 	elections      *Counter
 	unrecovered    *Counter
 	decodeLat      *Histogram
+
+	// Rate-control gauges, set from controller_decision events: the
+	// predictor state (predicted zone loss count) and the last decided
+	// injection size for the zone. Gauges rather than counters so the
+	// sampled time series traces the predictor trajectory.
+	predZLC *Gauge
+	ctrlH   *Gauge
 }
 
 // Metrics subscribes a Registry to a Bus, attributing each event to its
@@ -71,6 +79,13 @@ type Metrics struct {
 	faults     *Counter
 	rttSamples *Histogram
 
+	// Rate-control totals: decision count, and the largest per-group
+	// injection size any decision owed (the budget-compliance witness).
+	// ctrlMaxH is a monotonic atomic max because udpmesh drives one
+	// emitting goroutine per node over a shared bus.
+	ctrlDecisions *Counter
+	ctrlMaxH      atomic.Int64
+
 	// Recovery-latency histograms, fed by the span assembler via
 	// ObserveRecovery rather than from raw events (a recovery span only
 	// exists once causally stitched). Created lazily so runs without
@@ -98,6 +113,7 @@ func NewMetrics(reg *Registry, h *scoping.Hierarchy, numNodes int) *Metrics {
 		faults:     reg.Counter(Key{Name: "fault_events", Node: topology.NoNode, Zone: scoping.NoZone}),
 		rttSamples: reg.Histogram(Key{Name: "rtt_sample_s", Node: topology.NoNode, Zone: scoping.NoZone}, RTTSampleBounds),
 	}
+	m.ctrlDecisions = reg.Counter(Key{Name: "controller_decisions", Node: topology.NoNode, Zone: scoping.NoZone})
 	for n := range m.leaf {
 		m.leaf[n] = h.LeafZone(topology.NodeID(n))
 	}
@@ -125,6 +141,8 @@ func NewMetrics(reg *Registry, h *scoping.Hierarchy, numNodes int) *Metrics {
 		cells.elections = reg.Counter(zk("zcr_elections"))
 		cells.unrecovered = reg.Counter(zk("losses_unrecovered"))
 		cells.decodeLat = reg.Histogram(zk("decode_latency_s"), DecodeLatencyBounds)
+		cells.predZLC = reg.Gauge(zk("pred_zlc"))
+		cells.ctrlH = reg.Gauge(zk("ctrl_h"))
 	}
 	return m
 }
@@ -206,6 +224,18 @@ func (m *Metrics) Sink() Sink {
 			m.faultDrops.Inc()
 		case KindFault:
 			m.faults.Inc()
+		case KindControllerDecision:
+			if c := m.cellsFor(e.Zone); c != nil {
+				c.predZLC.Set(e.F)
+				c.ctrlH.Set(float64(e.A))
+			}
+			m.ctrlDecisions.Inc()
+			for {
+				cur := m.ctrlMaxH.Load()
+				if e.A <= cur || m.ctrlMaxH.CompareAndSwap(cur, e.A) {
+					break
+				}
+			}
 		}
 	}
 }
@@ -258,6 +288,15 @@ func (m *Metrics) SuppressionRatio() float64 {
 	}
 	return float64(supp) / float64(sent+supp)
 }
+
+// ControllerDecisions returns how many rate-control decisions were
+// published.
+func (m *Metrics) ControllerDecisions() int64 { return m.ctrlDecisions.Value() }
+
+// ControllerMaxH returns the largest per-group injection size any
+// decision owed (0 when no decision ever owed shares) — the witness a
+// budgeted policy stayed within its cap.
+func (m *Metrics) ControllerMaxH() int64 { return m.ctrlMaxH.Load() }
 
 // FaultDrops returns the fault-drop total.
 func (m *Metrics) FaultDrops() int64 { return m.faultDrops.Value() }

@@ -38,6 +38,13 @@ type ZoneSample struct {
 	DecodeLatencyMean float64 `json:"decode_latency_mean_s"`
 	Elections         int64   `json:"zcr_elections"`
 
+	// Rate-control trajectory: the zone's predictor state (predicted
+	// zone loss count) and last decided injection size at this snapshot.
+	// The aggregate row carries the maximum across zones (the peak
+	// predictor / widest decision at this instant).
+	PredZLC float64 `json:"pred_zlc"`
+	CtrlH   float64 `json:"ctrl_h"`
+
 	// Aggregate-row-only fields (zero on per-zone rows).
 	FaultDrops      int64   `json:"fault_drops"`
 	LocalRepairFrac float64 `json:"local_repair_frac"`
@@ -79,6 +86,8 @@ func (s *Sampler) Sample(t float64) {
 			LossesDetected:  c.losses.Value(),
 			GroupsDecoded:   c.decoded.Value(),
 			Elections:       c.elections.Value(),
+			PredZLC:         c.predZLC.Value(),
+			CtrlH:           c.ctrlH.Value(),
 		}
 		for pt := 1; pt < numPktTypes; pt++ {
 			row.Bytes += c.deliveredBytes[pt].Value()
@@ -104,6 +113,12 @@ func (s *Sampler) Sample(t float64) {
 		agg.LossesDetected += row.LossesDetected
 		agg.GroupsDecoded += row.GroupsDecoded
 		agg.Elections += row.Elections
+		if row.PredZLC > agg.PredZLC {
+			agg.PredZLC = row.PredZLC
+		}
+		if row.CtrlH > agg.CtrlH {
+			agg.CtrlH = row.CtrlH
+		}
 	}
 	if n := agg.NACKsSent + agg.NACKsSuppressed; n > 0 {
 		agg.SuppressionRatio = float64(agg.NACKsSuppressed) / float64(n)
@@ -145,7 +160,7 @@ func (s *Sampler) Last() (ZoneSample, bool) {
 const csvHeader = "t,zone,depth,data_pkts,repair_pkts,nack_pkts,session_pkts,bytes," +
 	"nacks_sent,nacks_suppressed,suppression_ratio,repairs_sent,repairs_injected," +
 	"losses_detected,nacks_per_loss,groups_decoded,decode_latency_mean_s," +
-	"zcr_elections,fault_drops,local_repair_frac"
+	"zcr_elections,pred_zlc,ctrl_h,fault_drops,local_repair_frac"
 
 // WriteCSV renders rows as CSV with a header line.
 func WriteCSV(w io.Writer, rows []ZoneSample) error {
@@ -153,11 +168,11 @@ func WriteCSV(w io.Writer, rows []ZoneSample) error {
 		return err
 	}
 	for _, r := range rows {
-		_, err := fmt.Fprintf(w, "%.4f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.6f,%d,%d,%d,%.6f,%d,%.6f,%d,%d,%.6f\n",
+		_, err := fmt.Fprintf(w, "%.4f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.6f,%d,%d,%d,%.6f,%d,%.6f,%d,%.6f,%.6f,%d,%.6f\n",
 			r.T, r.Zone, r.Depth, r.DataPkts, r.RepairPkts, r.NACKPkts, r.SessionPkts, r.Bytes,
 			r.NACKsSent, r.NACKsSuppressed, r.SuppressionRatio, r.RepairsSent, r.RepairsInjected,
 			r.LossesDetected, r.NACKsPerLoss, r.GroupsDecoded, r.DecodeLatencyMean,
-			r.Elections, r.FaultDrops, r.LocalRepairFrac)
+			r.Elections, r.PredZLC, r.CtrlH, r.FaultDrops, r.LocalRepairFrac)
 		if err != nil {
 			return err
 		}

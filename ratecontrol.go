@@ -1,0 +1,184 @@
+package sharqfec
+
+import (
+	"fmt"
+
+	"sharqfec/internal/analysis"
+	"sharqfec/internal/core"
+	"sharqfec/internal/ratecontrol"
+	"sharqfec/internal/telemetry/spans"
+	"sharqfec/internal/topology"
+)
+
+// RateControlMode selects how preemptive FEC injection is sized.
+type RateControlMode string
+
+const (
+	// RateControlOff leaves the paper's behavior untouched (the static
+	// EWMA predictor, attached implicitly). Identical to
+	// RateControlStatic per seed; it exists so "no rate-control
+	// plumbing requested" is expressible.
+	RateControlOff RateControlMode = "off"
+	// RateControlStatic explicitly attaches the static EWMA policy —
+	// byte-identical to off per seed, which the fixed-seed digest tests
+	// pin.
+	RateControlStatic RateControlMode = "static"
+	// RateControlAdaptive attaches the burst-aware optimizer
+	// (internal/ratecontrol): per-zone redundancy sized by expected
+	// recovery cost under a fitted Gilbert–Elliott loss model, subject
+	// to a per-group repair budget.
+	RateControlAdaptive RateControlMode = "adaptive"
+)
+
+// ParseRateControlMode resolves a -ratecontrol flag value.
+func ParseRateControlMode(s string) (RateControlMode, error) {
+	switch RateControlMode(s) {
+	case RateControlOff, RateControlStatic, RateControlAdaptive:
+		return RateControlMode(s), nil
+	}
+	return "", fmt.Errorf("sharqfec: unknown rate-control mode %q (off|static|adaptive)", s)
+}
+
+// RateControlConfig selects and tunes the rate-control policy for a
+// data run. The zero value (and a nil *RateControlConfig) means off.
+type RateControlConfig struct {
+	Mode RateControlMode
+	// Budget caps adaptive injection per group as a fraction of the
+	// group size (default 0.5). Ignored by off/static.
+	Budget float64
+	// ArqPenalty is the adaptive policy's cost of one uncovered loss
+	// relative to one preemptive share (default 12). Ignored by
+	// off/static.
+	ArqPenalty float64
+}
+
+// budget returns the configured budget with the package default
+// applied, for reports.
+func (c *RateControlConfig) budget() float64 {
+	if c == nil || c.Budget <= 0 {
+		return 0.5
+	}
+	return c.Budget
+}
+
+// factory maps the config to a core controller constructor; nil keeps
+// core's built-in static default (off and static are deliberately the
+// same decisions — static just makes the seam explicit).
+func (c *RateControlConfig) factory(pcfg core.Config) func(topology.NodeID) core.Controller {
+	if c == nil {
+		return nil
+	}
+	switch c.Mode {
+	case RateControlStatic:
+		return func(topology.NodeID) core.Controller {
+			return core.NewStaticController(pcfg.EWMAOld, pcfg.EWMANew)
+		}
+	case RateControlAdaptive:
+		rcfg := ratecontrol.Config{
+			Budget:     c.Budget,
+			ArqPenalty: c.ArqPenalty,
+			EWMAOld:    pcfg.EWMAOld,
+			EWMANew:    pcfg.EWMANew,
+		}
+		return func(topology.NodeID) core.Controller {
+			return ratecontrol.New(rcfg)
+		}
+	}
+	return nil
+}
+
+// ControllerComparisonConfig parameterizes RunControllerComparison.
+type ControllerComparisonConfig struct {
+	// Base is the experiment both policies run under — topology, seed,
+	// fault plan, durations. Its RateControl and Telemetry fields are
+	// overridden per policy run (span tracing is forced on; an Events
+	// writer, if set, is dropped to keep the two runs independent).
+	Base DataConfig
+	// Budget / ArqPenalty configure the adaptive policy (defaults 0.5 /
+	// 12).
+	Budget     float64
+	ArqPenalty float64
+	// Seeds, when non-empty, runs each policy once per seed (overriding
+	// Base.Seed) and pools the spans and repair totals into one outcome
+	// per policy. Single runs are noisy — the per-link burst chains
+	// advance once per crossing packet, so any policy-induced traffic
+	// difference diverges the whole loss realization — and the ensemble
+	// averages that divergence out.
+	Seeds []uint64
+}
+
+// RunControllerComparison runs the same experiment(s) twice — once
+// under the static policy, once under the adaptive policy — and
+// compares span recovery latency against repair overhead. The static
+// runs are byte-identical to uncontrolled runs at the same seeds, so
+// the comparison isolates the policy change.
+func RunControllerComparison(cfg ControllerComparisonConfig) (*analysis.ControllerReport, error) {
+	seeds := cfg.Seeds
+	if len(seeds) == 0 {
+		seeds = []uint64{cfg.Base.Seed}
+	}
+	run := func(mode RateControlMode) (analysis.PolicyOutcome, error) {
+		var (
+			pool                 []spans.Span
+			sent, injected, maxH int64
+			packets              int
+		)
+		for _, seed := range seeds {
+			res, err := runPolicy(cfg, mode, seed)
+			if err != nil {
+				return analysis.PolicyOutcome{}, err
+			}
+			pool = append(pool, res.Telemetry.Spans()...)
+			sent += int64(res.RepairsSent)
+			injected += int64(res.RepairsInjected)
+			if h := res.Telemetry.ControllerMaxH; h > maxH {
+				maxH = h
+			}
+			np := cfg.Base.NumPackets
+			if np == 0 {
+				np = 1024
+			}
+			packets += np
+		}
+		return analysis.SummarizePolicy(string(mode), pool, sent, injected, packets, maxH), nil
+	}
+	static, err := run(RateControlStatic)
+	if err != nil {
+		return nil, err
+	}
+	adaptive, err := run(RateControlAdaptive)
+	if err != nil {
+		return nil, err
+	}
+	rc := &RateControlConfig{Mode: RateControlAdaptive, Budget: cfg.Budget}
+	groupK := cfg.Base.GroupK
+	if groupK == 0 {
+		groupK = 16
+	}
+	return &analysis.ControllerReport{
+		Static:   static,
+		Adaptive: adaptive,
+		Budget:   rc.budget(),
+		GroupK:   groupK,
+	}, nil
+}
+
+// runPolicy executes cfg.Base under one rate-control mode at one seed
+// with span tracing forced on.
+func runPolicy(cfg ControllerComparisonConfig, mode RateControlMode, seed uint64) (*DataResult, error) {
+	base := cfg.Base
+	base.Seed = seed
+	base.RateControl = &RateControlConfig{
+		Mode:       mode,
+		Budget:     cfg.Budget,
+		ArqPenalty: cfg.ArqPenalty,
+	}
+	tcfg := TelemetryConfig{Spans: true}
+	if base.Telemetry != nil {
+		tcfg = *base.Telemetry
+		tcfg.Spans = true
+		tcfg.Events = nil
+	}
+	base.Telemetry = &tcfg
+	return RunData(base)
+}

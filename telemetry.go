@@ -81,6 +81,12 @@ type TelemetryReport struct {
 	NACKsSent, RepairsSent int64
 	// FaultDrops counts packets dropped on administratively-down links.
 	FaultDrops int64
+	// ControllerDecisions counts rate-control decisions (one per group
+	// completion per deciding agent); ControllerMaxH is the largest
+	// per-group repair injection any decision owed — the witness the
+	// adaptive policy's budget compliance is checked against.
+	ControllerDecisions int64
+	ControllerMaxH      int64
 
 	rows   []telemetry.ZoneSample
 	flight []string
@@ -255,12 +261,14 @@ func (t *telemetryRun) finish(until float64) (*TelemetryReport, error) {
 	}
 	t.sampler.Sample(until)
 	rep := &TelemetryReport{
-		EventsEmitted:    t.bus.Count(),
-		SuppressionRatio: t.metrics.SuppressionRatio(),
-		NACKsSent:        t.metrics.NACKsSent(),
-		RepairsSent:      t.metrics.RepairsSent(),
-		FaultDrops:       t.metrics.FaultDrops(),
-		rows:             t.sampler.Rows(),
+		EventsEmitted:       t.bus.Count(),
+		SuppressionRatio:    t.metrics.SuppressionRatio(),
+		NACKsSent:           t.metrics.NACKsSent(),
+		RepairsSent:         t.metrics.RepairsSent(),
+		FaultDrops:          t.metrics.FaultDrops(),
+		ControllerDecisions: t.metrics.ControllerDecisions(),
+		ControllerMaxH:      t.metrics.ControllerMaxH(),
+		rows:                t.sampler.Rows(),
 	}
 	if local, global := t.metrics.RepairLocalization(); local+global > 0 {
 		rep.LocalRepairFrac = float64(local) / float64(local+global)
