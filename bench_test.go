@@ -12,6 +12,7 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"strings"
 	"testing"
 
 	"sharqfec/internal/analysis"
@@ -23,6 +24,7 @@ import (
 	"sharqfec/internal/scoping"
 	"sharqfec/internal/simrand"
 	"sharqfec/internal/telemetry"
+	"sharqfec/internal/telemetry/health"
 	"sharqfec/internal/telemetry/spans"
 	"sharqfec/internal/topology"
 )
@@ -575,4 +577,55 @@ func BenchmarkControllerDecision(b *testing.B) {
 		h = c.Decide(zone, 16, i&3).H
 	}
 	b.ReportMetric(float64(h), "h")
+}
+
+// --- E19: streaming health engine ---
+
+// BenchmarkHealthSink pins the health engine's steady-state ingest
+// path: the event stream of one seeded burst-loss run is captured
+// once, the engine is warmed on it (zone rows grown, loss map sized,
+// evaluation ticks consumed), then each iteration replays the whole
+// stream through the warmed sink. The CI gate holds this at 0
+// allocs/op — the sink sees every protocol event of an instrumented
+// run, so any per-event allocation would tax the entire session.
+func BenchmarkHealthSink(b *testing.B) {
+	var buf bytes.Buffer
+	if _, err := RunData(DataConfig{
+		Protocol:   SHARQFEC,
+		Seed:       5,
+		NumPackets: 128,
+		Until:      20,
+		Faults:     BurstLossPlan(8),
+		Telemetry:  &TelemetryConfig{Events: &buf},
+	}); err != nil {
+		b.Fatal(err)
+	}
+	var events []telemetry.Event
+	for _, line := range bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n")) {
+		e, err := telemetry.ParseEventLine(line)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events = append(events, e)
+	}
+	spec, err := health.ParseSpec(strings.NewReader(
+		"recovery_latency p95 <= 0.1 window=5 fast=1.25 min=2\n" +
+			"suppression_ratio >= 0.5 window=10 min=8\n" +
+			"repair_locality >= 0.6 window=10 min=8\n"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := health.NewEngine(spec, nil)
+	sink := eng.Sink()
+	for _, e := range events {
+		sink(e) // warm: grow zone rows, size the loss map, run the ticks
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, e := range events {
+			sink(e)
+		}
+	}
+	b.ReportMetric(float64(len(events))/(float64(b.Elapsed().Nanoseconds())/float64(b.N))*1e3, "events/µs")
 }

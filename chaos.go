@@ -11,6 +11,7 @@ import (
 	"sharqfec/internal/netsim"
 	"sharqfec/internal/scoping"
 	"sharqfec/internal/simrand"
+	"sharqfec/internal/telemetry/health"
 	"sharqfec/internal/topology"
 )
 
@@ -247,6 +248,11 @@ type ChaosResult struct {
 	// only when the run ended anomalously (incomplete delivery among
 	// survivors, or a verification failure).
 	FlightRecord []string
+	// Health carries the per-zone SLO verdicts when the run declared
+	// objectives (ChaosConfig.Telemetry.SLO); nil otherwise. A chaos
+	// scenario passes only if delivery completed, payloads verified, AND
+	// Health (when present) reports no violations.
+	Health *health.Report
 	// Telemetry is the full observability report for the run.
 	Telemetry *TelemetryReport
 }
@@ -255,6 +261,9 @@ type ChaosResult struct {
 // reports recovery and localization metrics.
 func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 	cfg.applyDefaults()
+	if err := cfg.Telemetry.validate(); err != nil {
+		return nil, err
+	}
 	opts, ok := cfg.Protocol.options()
 	if !ok {
 		return nil, fmt.Errorf("sharqfec: RunChaos needs a SHARQFEC variant, got %q", cfg.Protocol)
@@ -450,12 +459,20 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 		return nil, err
 	}
 	res.Telemetry = rep
+	res.Health = rep.HealthReport()
 	res.LocalRepairFrac = rep.LocalRepairFrac
 	res.FaultDrops = int(rep.FaultDrops)
 	res.NACKsSent = int(rep.NACKsSent)
 	res.RepairsSent = int(rep.RepairsSent)
 	if res.CompletionRate < 1 || !res.Verified {
-		res.FlightRecord = tel.rec.Dump()
+		// Anomalous endings go through the same forensic path as
+		// health alerts: one more triggered snapshot, taken after the
+		// final accounting so the tail includes every terminal event.
+		tel.trigger.Fire(cfg.Until, fmt.Sprintf(
+			"anomalous end: completion=%.4f verified=%v", res.CompletionRate, res.Verified))
+		d := tel.trigger.Dumps()
+		rep.dumps = d
+		res.FlightRecord = d[len(d)-1].Events
 		// Lead the dump with the span ledger: how many losses closed, by
 		// which mechanism, and how many died open — the summary a post-
 		// mortem reads before the raw event tail.
@@ -505,6 +522,13 @@ func (r *ChaosResult) String() string {
 			s += fmt.Sprintf("; ZCR %d (zone %d) → %d in %.1fs", re.Crashed, re.Zone, re.NewZCR, re.RecoverySeconds)
 		} else {
 			s += fmt.Sprintf("; ZCR %d (zone %d) not recovered", re.Crashed, re.Zone)
+		}
+	}
+	if r.Health != nil {
+		if r.Health.Passed() {
+			s += "; SLO PASS"
+		} else {
+			s += fmt.Sprintf("; SLO FAIL (%d violations)", r.Health.Violations())
 		}
 	}
 	return s

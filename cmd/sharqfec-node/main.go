@@ -26,6 +26,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"os"
 	"strconv"
 	"strings"
 	"time"
@@ -35,6 +36,7 @@ import (
 	"sharqfec/internal/scoping"
 	"sharqfec/internal/simrand"
 	"sharqfec/internal/telemetry"
+	"sharqfec/internal/telemetry/health"
 	"sharqfec/internal/topology"
 	"sharqfec/internal/udpmesh"
 )
@@ -54,7 +56,8 @@ func main() {
 	timeout := flag.Duration("timeout", 60*time.Second, "give up after this long")
 	demo := flag.Bool("demo", false, "run every member in this process")
 	seed := flag.Uint64("seed", 7, "loss / protocol RNG seed")
-	metricsAddr := flag.String("metrics-addr", "", "serve live metrics on this address (/metrics Prometheus text, /debug/vars expvar)")
+	metricsAddr := flag.String("metrics-addr", "", "serve live metrics on this address (/metrics Prometheus text, /debug/vars expvar, /healthz)")
+	sloPath := flag.String("slo", "", "SLO spec file: evaluate streaming health objectives live (needs -metrics-addr)")
 	flag.Parse()
 
 	spec, err := parseTopology(*topoFlag)
@@ -66,12 +69,28 @@ func main() {
 		log.Fatal(err)
 	}
 
+	var slo *health.Spec
+	if *sloPath != "" {
+		f, err := os.Open(*sloPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		slo, err = health.ParseSpec(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *metricsAddr == "" {
+			log.Fatal("-slo needs -metrics-addr (the health engine rides the metrics bus)")
+		}
+	}
+
 	cfg := core.DefaultConfig()
 	cfg.Source = spec.Source
 	cfg.NumPackets = *packets
 	cfg.Rate = *rate
 	if *metricsAddr != "" {
-		cfg.Telemetry = serveMetrics(*metricsAddr, h, spec.Graph.NumNodes())
+		cfg.Telemetry = serveMetrics(*metricsAddr, h, spec.Graph.NumNodes(), slo)
 	}
 
 	if *demo {
@@ -124,22 +143,65 @@ func main() {
 }
 
 // serveMetrics starts the live observability endpoint: a telemetry bus
-// whose registry is exposed as Prometheus text on /metrics and as
-// expvar JSON on /debug/vars. The protocol goroutines only touch atomic
-// counters, so scrapes never block the session.
-func serveMetrics(addr string, h *scoping.Hierarchy, numNodes int) *telemetry.Bus {
+// whose registry is exposed as Prometheus text (with HELP/TYPE
+// metadata) on /metrics, as expvar JSON on /debug/vars, and — when an
+// SLO spec is given — judged live on /healthz (200 while every
+// objective holds, 503 with one active violation per line otherwise).
+// The protocol goroutines only touch atomic counters on the scrape
+// path, and the health engine serializes behind its own mutex, so
+// scrapes never block the session.
+func serveMetrics(addr string, h *scoping.Hierarchy, numNodes int, slo *health.Spec) *telemetry.Bus {
 	bus := telemetry.NewBus()
 	m := telemetry.NewMetrics(nil, h, numNodes)
 	bus.Attach(m.Sink())
+	var eng *health.Engine
+	if slo != nil {
+		eng = health.NewEngine(slo, bus)
+		bus.Attach(eng.Sink())
+	}
+	// The same self-describing preamble the simulator emits: the health
+	// engine (like the span assembler) learns the zone hierarchy from
+	// zone_info / zone_member events, never from side channels.
+	for z := 0; z < h.NumZones(); z++ {
+		zone := scoping.ZoneID(z)
+		parent := int64(-1)
+		if p := h.Parent(zone); p != scoping.NoZone {
+			parent = int64(p)
+		}
+		bus.Emit(telemetry.Event{
+			Kind: telemetry.KindZoneInfo, Node: topology.NoNode, Zone: zone,
+			Group: -1, A: parent, B: int64(h.Level(zone)),
+		})
+		for _, mem := range h.Leaves(zone) {
+			bus.Emit(telemetry.Event{
+				Kind: telemetry.KindZoneMember, Node: mem, Zone: zone, Group: -1,
+			})
+		}
+	}
 	expvar.Publish("sharqfec", expvar.Func(func() any { return m.Reg.Snapshot() }))
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-		_ = m.Reg.WritePrometheus(w)
+		_ = m.Reg.WritePrometheusMeta(w, telemetry.PromHelp)
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if eng == nil {
+			fmt.Fprintln(w, "ok (no SLO configured)")
+			return
+		}
+		if lines := eng.ActiveLines(); len(lines) > 0 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			for _, l := range lines {
+				fmt.Fprintln(w, l)
+			}
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
 	go func() {
-		log.Printf("metrics on http://%s/metrics", addr)
+		log.Printf("metrics on http://%s/metrics, health on /healthz", addr)
 		if err := http.ListenAndServe(addr, mux); err != nil {
 			log.Printf("metrics endpoint: %v", err)
 		}

@@ -35,6 +35,12 @@
 //	-perfetto          write the recovery spans as Chrome trace-event
 //	                   JSON (Perfetto / chrome://tracing); implies -spans
 //	-flight-recorder   keep a ring of the last N control-plane events
+//	-slo               SLO spec file: evaluate streaming health
+//	                   objectives during the run, print the per-zone
+//	                   verdict table, and exit 1 on any violation
+//	                   ("<metric> [pNN] <=|>= <value> [window=W]
+//	                   [fast=F] [min=N]" per line, '#' comments,
+//	                   optional "interval <seconds>")
 //	-ratecontrol       preemptive-FEC sizing policy: off | static |
 //	                   adaptive (default off; static is byte-identical
 //	                   to off per seed, adaptive sizes redundancy from
@@ -61,6 +67,15 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sharqfec-sim: ")
 
+	// Registered before the profiler defers so they still flush on an
+	// SLO-violation exit (defers run LIFO; this one runs last).
+	sloViolated := false
+	defer func() {
+		if sloViolated {
+			os.Exit(1)
+		}
+	}()
+
 	protoFlag := flag.String("protocol", "sharqfec", "protocol variant")
 	topoFlag := flag.String("topology", "figure10", "topology (figure10 | chain:N | star:N | tree:FxF)")
 	lossFlag := flag.Float64("loss", 0.08, "per-link loss for chain/star/tree topologies")
@@ -79,6 +94,7 @@ func main() {
 	spansFlag := flag.Bool("spans", false, "assemble causal recovery spans and print the recovery report")
 	perfettoPath := flag.String("perfetto", "", "write recovery spans as Chrome trace-event JSON (implies -spans)")
 	flightRec := flag.Int("flight-recorder", 0, "keep a ring of the last N control-plane events")
+	sloPath := flag.String("slo", "", "SLO spec file; exit 1 when any objective is violated")
 	rcFlag := flag.String("ratecontrol", "off", "rate-control policy (off | static | adaptive)")
 	rcBudget := flag.Float64("rc-budget", 0, "adaptive repair budget as a fraction of group size (0 = default 0.5)")
 	flag.Parse()
@@ -162,12 +178,25 @@ func main() {
 		cfg.Faults = plan
 	}
 	wantSpans := *spansFlag || *perfettoPath != ""
+	var slo *sharqfec.SLOSpec
+	if *sloPath != "" {
+		f, err := os.Open(*sloPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		slo, err = sharqfec.ParseSLOSpec(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
 	var eventsFile *os.File
-	if *eventsPath != "" || *metricsPath != "" || wantSpans || *flightRec > 0 {
+	if *eventsPath != "" || *metricsPath != "" || wantSpans || *flightRec > 0 || slo != nil {
 		cfg.Telemetry = &sharqfec.TelemetryConfig{
 			MetricsInterval: *metricsInterval,
 			Spans:           wantSpans,
 			FlightRecorder:  *flightRec,
+			SLO:             slo,
 		}
 		if *eventsPath != "" {
 			f, err := os.Create(*eventsPath)
@@ -242,6 +271,15 @@ func main() {
 			fmt.Println()
 			fmt.Print(t.RecoveryReport().String())
 		}
+	}
+	if hr := res.Telemetry.HealthReport(); hr != nil {
+		fmt.Println()
+		fmt.Print(hr.String())
+		if d := res.Telemetry.TriggeredDumps(); len(d) > 0 {
+			fmt.Printf("forensic dumps:        %d (first at t=%.3fs: %s)\n",
+				len(d), d[0].T, d[0].Reason)
+		}
+		sloViolated = !hr.Passed()
 	}
 
 	if *series {

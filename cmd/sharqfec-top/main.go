@@ -1,0 +1,206 @@
+// Command sharqfec-top is a live terminal view of a running
+// sharqfec-node metrics endpoint: it polls the node's expvar JSON
+// (/debug/vars) and health endpoint (/healthz) and redraws a per-zone
+// table of the protocol's vital signs — NACK pressure and suppression,
+// repair traffic, loss/decode progress, and SLO alert counts.
+//
+// Usage:
+//
+//	sharqfec-top [-addr host:port] [-interval 1s] [-once]
+//
+// Point -addr at the address given to sharqfec-node -metrics-addr.
+// -once prints a single snapshot and exits (no screen clearing), which
+// is also the scriptable mode.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sharqfec-top: ")
+
+	addr := flag.String("addr", "127.0.0.1:8080", "sharqfec-node metrics address (host:port)")
+	interval := flag.Duration("interval", time.Second, "poll interval")
+	once := flag.Bool("once", false, "print one snapshot and exit")
+	flag.Parse()
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	for {
+		frame, err := render(client, *addr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *once {
+			fmt.Print(frame)
+			return
+		}
+		// ANSI clear + home: repaint in place like top(1).
+		fmt.Print("\x1b[2J\x1b[H" + frame)
+		time.Sleep(*interval)
+	}
+}
+
+// render fetches one snapshot and formats the whole frame.
+func render(client *http.Client, addr string) (string, error) {
+	vars, err := fetchVars(client, addr)
+	if err != nil {
+		return "", err
+	}
+	healthLine := fetchHealth(client, addr)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "sharqfec-top — %s — %s\n", addr, time.Now().Format("15:04:05"))
+	fmt.Fprintf(&b, "health: %s\n\n", healthLine)
+	b.WriteString(table(vars))
+	return b.String(), nil
+}
+
+// fetchVars pulls /debug/vars and returns the flat "sharqfec" metric
+// map: "name{label=\"v\",...}" → value.
+func fetchVars(client *http.Client, addr string) (map[string]float64, error) {
+	resp, err := client.Get("http://" + addr + "/debug/vars")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		Sharqfec map[string]float64 `json:"sharqfec"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("parsing /debug/vars: %w", err)
+	}
+	if doc.Sharqfec == nil {
+		return nil, fmt.Errorf("no \"sharqfec\" expvar at %s (is -metrics-addr set on the node?)", addr)
+	}
+	return doc.Sharqfec, nil
+}
+
+// fetchHealth summarizes /healthz in one line; a missing endpoint is
+// reported, not fatal (older nodes).
+func fetchHealth(client *http.Client, addr string) string {
+	resp, err := client.Get("http://" + addr + "/healthz")
+	if err != nil {
+		return "unreachable (" + err.Error() + ")"
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	text := strings.TrimSpace(string(body))
+	if resp.StatusCode == http.StatusOK {
+		return "OK — " + firstLine(text)
+	}
+	lines := strings.Split(text, "\n")
+	return fmt.Sprintf("VIOLATING (%d) — %s", len(lines), strings.Join(lines, "; "))
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// columns are the per-zone vital signs, in display order, each backed
+// by one registry counter family.
+var columns = []struct{ header, metric string }{
+	{"nack", "nacks_sent"},
+	{"supp", "nacks_suppressed"},
+	{"repair", "repairs_sent"},
+	{"inject", "repairs_injected"},
+	{"loss", "losses_detected"},
+	{"decoded", "groups_decoded"},
+	{"unrec", "losses_unrecovered"},
+	{"alerts", "health_alerts"},
+}
+
+// table renders the per-zone metric rows. The session aggregate (keys
+// with no zone label) prints as zone "all"; zone rows sort numerically.
+func table(vars map[string]float64) string {
+	rows := map[string]map[string]float64{} // zone → metric → value
+	for key, v := range vars {
+		name, labels := splitKey(key)
+		if strings.Contains(key, ".") || labels["node"] != "" || labels["kind"] != "" {
+			continue // histogram parts and finer-grained families stay off the board
+		}
+		zone, ok := labels["zone"]
+		if !ok {
+			zone = "all"
+		}
+		m := rows[zone]
+		if m == nil {
+			m = map[string]float64{}
+			rows[zone] = m
+		}
+		m[name] += v
+	}
+
+	zones := make([]string, 0, len(rows))
+	for z := range rows {
+		if z != "all" {
+			zones = append(zones, z)
+		}
+	}
+	sort.Slice(zones, func(i, j int) bool {
+		a, _ := strconv.Atoi(zones[i])
+		b, _ := strconv.Atoi(zones[j])
+		return a < b
+	})
+	if _, ok := rows["all"]; ok {
+		zones = append(zones, "all")
+	}
+
+	w := new(strings.Builder)
+	tw := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
+	tw("%6s", "zone")
+	for _, c := range columns {
+		tw(" %8s", c.header)
+	}
+	tw(" %7s\n", "supp%")
+	for _, z := range zones {
+		m := rows[z]
+		tw("%6s", z)
+		for _, c := range columns {
+			tw(" %8.0f", m[c.metric])
+		}
+		sent, supp := m["nacks_sent"], m["nacks_suppressed"]
+		if sent+supp > 0 {
+			tw(" %6.1f%%", 100*supp/(sent+supp))
+		} else {
+			tw(" %7s", "-")
+		}
+		tw("\n")
+	}
+	if len(zones) == 0 {
+		tw("(no metrics yet)\n")
+	}
+	return w.String()
+}
+
+// splitKey parses `name{k="v",...}` into the bare name and its labels.
+func splitKey(key string) (string, map[string]string) {
+	i := strings.IndexByte(key, '{')
+	if i < 0 {
+		return key, nil
+	}
+	name := key[:i]
+	labels := map[string]string{}
+	body := strings.TrimSuffix(key[i+1:], "}")
+	for _, part := range strings.Split(body, ",") {
+		k, v, ok := strings.Cut(part, "=")
+		if !ok {
+			continue
+		}
+		labels[k] = strings.Trim(v, `"`)
+	}
+	return name, labels
+}

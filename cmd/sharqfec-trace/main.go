@@ -10,6 +10,13 @@
 //	-spans     also list every recovery span, one line each
 //	-perfetto  write the spans as Chrome trace-event JSON loadable in
 //	           Perfetto / chrome://tracing
+//	-slo       SLO spec file: re-derive the health verdicts from the
+//	           trace and print the per-zone table. When the trace was
+//	           recorded under an SLO, the replayed alert sequence must
+//	           match the recorded health_alert/health_clear events
+//	           exactly — any drift is a fatal error (the offline
+//	           replay gate). Exit status is also non-zero when the
+//	           replayed verdict is FAIL.
 //
 // A trace file of "-" reads from stdin. The exit status is non-zero
 // when the trace is malformed or span accounting is broken (a loss
@@ -17,6 +24,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
@@ -24,6 +32,7 @@ import (
 	"os"
 
 	"sharqfec/internal/analysis"
+	"sharqfec/internal/telemetry/health"
 	"sharqfec/internal/telemetry/spans"
 )
 
@@ -33,10 +42,11 @@ func main() {
 
 	listSpans := flag.Bool("spans", false, "list every recovery span, one line each")
 	perfettoPath := flag.String("perfetto", "", "write recovery spans as Chrome trace-event JSON")
+	sloPath := flag.String("slo", "", "SLO spec file: re-derive health verdicts from the trace")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
-		log.Fatal("usage: sharqfec-trace [-spans] [-perfetto out.json] <trace.jsonl | ->")
+		log.Fatal("usage: sharqfec-trace [-spans] [-perfetto out.json] [-slo spec] <trace.jsonl | ->")
 	}
 	var in io.Reader = os.Stdin
 	if name := flag.Arg(0); name != "-" {
@@ -46,6 +56,26 @@ func main() {
 		}
 		defer f.Close()
 		in = f
+	}
+	var spec *health.Spec
+	var raw []byte
+	if *sloPath != "" {
+		f, err := os.Open(*sloPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		spec, err = health.ParseSpec(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		// The health replay needs its own pass over the trace; buffer
+		// stdin / the file once so both consumers read identical bytes.
+		raw, err = io.ReadAll(in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		in = bytes.NewReader(raw)
 	}
 
 	asm, err := spans.Replay(in)
@@ -74,7 +104,34 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	if spec != nil {
+		healthReplay(bytes.NewReader(raw), spec)
+	}
 	if rep.OpenSpans > 0 {
 		log.Fatalf("span accounting broken: %d spans never saw a terminal event", rep.OpenSpans)
+	}
+}
+
+// healthReplay re-derives the SLO verdicts from the trace, prints the
+// table, and enforces the replay-equality gate against any recorded
+// health events. Fatal on drift or a FAIL verdict.
+func healthReplay(r io.Reader, spec *health.Spec) {
+	eng, recorded, err := health.Replay(r, spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	hr := eng.Report()
+	fmt.Print(hr.String())
+	if len(recorded) > 0 {
+		derived := eng.Emitted()
+		if !health.SameAlerts(derived, recorded) {
+			log.Fatalf("replay drift: trace recorded %d health events, replay derived %d — offline and live verdicts disagree",
+				len(recorded), len(derived))
+		}
+		fmt.Printf("replay gate: %d recorded health events reproduced exactly\n", len(recorded))
+	}
+	if !hr.Passed() {
+		log.Fatalf("SLO FAIL: %d violations", hr.Violations())
 	}
 }

@@ -123,6 +123,9 @@ type DataResult struct {
 // series and totals.
 func RunData(cfg DataConfig) (*DataResult, error) {
 	cfg.applyDefaults()
+	if err := cfg.Telemetry.validate(); err != nil {
+		return nil, err
+	}
 	if cfg.Protocol == SRM {
 		return runSRM(cfg)
 	}

@@ -120,6 +120,25 @@ const (
 	// predictor state (predicted zone loss count) behind the decision.
 	KindControllerDecision
 
+	// Run-metadata preamble event.
+
+	// KindRunInfo: emitted once at T = 0 ahead of the zone preamble.
+	// F = the run's configured end time (seconds), so offline replay
+	// (health-verdict re-derivation in cmd/sharqfec-trace) evaluates its
+	// final window at exactly the same instant the live run did.
+	KindRunInfo
+
+	// Health-engine events from internal/telemetry/health.
+
+	// KindHealthAlert: an SLO objective entered violation. Zone = the
+	// violating zone (scoping.NoZone for the session aggregate), A = the
+	// objective's index in the SLO spec, B = the long-window sample
+	// count behind the verdict, F = the measured value that breached.
+	KindHealthAlert
+	// KindHealthClear: the objective left violation (same fields; F =
+	// the recovered measurement).
+	KindHealthClear
+
 	numKinds
 )
 
@@ -148,6 +167,10 @@ var kindNames = [numKinds]string{
 	KindZoneMember:       "zone_member",
 
 	KindControllerDecision: "controller_decision",
+
+	KindRunInfo:     "run_info",
+	KindHealthAlert: "health_alert",
+	KindHealthClear: "health_clear",
 }
 
 func (k Kind) String() string {

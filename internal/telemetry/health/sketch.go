@@ -1,0 +1,169 @@
+// Package health is the streaming protocol-health engine: it attaches
+// to the telemetry bus as one more passive sink, maintains per-zone
+// sliding-window quantile sketches over the recovery metrics the paper
+// cares about (recovery latency, NACK suppression, repair localization,
+// controller budget burn), evaluates a declarative SLO spec against
+// them on the virtual clock, and emits first-class health_alert /
+// health_clear events back onto the bus.
+//
+// Everything is deterministic and fixed-memory: the sketches are rings
+// of epoch-bucketed histograms (no wall clock, no randomness, no
+// unbounded state), evaluation ticks are derived purely from event
+// timestamps, and the engine works identically on a live bus or on a
+// replayed JSONL trace — cmd/sharqfec-trace re-derives the exact
+// verdict sequence offline.
+package health
+
+import (
+	"math"
+	"sort"
+)
+
+// epochsPerWindow is the ring resolution of every sliding window: a
+// window of W seconds is covered by this many fixed epochs of W/8 each.
+// Samples expire with epoch granularity — the classic fixed-memory
+// sliding-window tradeoff — but expiry depends only on sample
+// timestamps, so live and replayed evaluation agree exactly.
+const epochsPerWindow = 8
+
+// WindowSketch is a sliding-window quantile sketch: a ring of
+// epoch-local bucketed histograms over fixed bounds. Observe and
+// Summary are alloc-free after construction. Out-of-range (including
+// +Inf) observations land in the implicit overflow bucket, whose
+// quantile reports the highest finite bound — "at least this bad".
+type WindowSketch struct {
+	bounds []float64
+	epoch  float64   // seconds per ring slot
+	counts []uint32  // epochsPerWindow × (len(bounds)+1), row-major
+	slotAt []int64   // epoch index each slot currently holds; -1 empty
+	cum    []float64 // scratch for Summary, len(bounds)+1
+}
+
+// NewWindowSketch returns a sketch whose Summary covers roughly the
+// last window seconds (rounded to epoch granularity).
+func NewWindowSketch(bounds []float64, window float64) *WindowSketch {
+	s := &WindowSketch{
+		bounds: bounds,
+		epoch:  window / epochsPerWindow,
+		counts: make([]uint32, epochsPerWindow*(len(bounds)+1)),
+		slotAt: make([]int64, epochsPerWindow),
+		cum:    make([]float64, len(bounds)+1),
+	}
+	for i := range s.slotAt {
+		s.slotAt[i] = -1
+	}
+	return s
+}
+
+// row returns the bucket row for the epoch containing t, clearing the
+// slot when it last held an older epoch.
+func (s *WindowSketch) row(t float64) []uint32 {
+	ei := int64(t / s.epoch)
+	slot := int(ei % epochsPerWindow)
+	w := len(s.bounds) + 1
+	row := s.counts[slot*w : (slot+1)*w]
+	if s.slotAt[slot] != ei {
+		for i := range row {
+			row[i] = 0
+		}
+		s.slotAt[slot] = ei
+	}
+	return row
+}
+
+// Observe records one sample at virtual time t.
+func (s *WindowSketch) Observe(t, v float64) {
+	s.row(t)[sort.SearchFloat64s(s.bounds, v)]++
+}
+
+// Summary returns the q-th quantile (0 < q ≤ 1) and the sample count
+// over the window ending at t. Quantiles interpolate linearly within
+// the containing bucket (histogram_quantile semantics); an empty window
+// returns (0, 0); ranks in the overflow bucket report the highest
+// finite bound.
+func (s *WindowSketch) Summary(t, q float64) (float64, int64) {
+	ei := int64(t / s.epoch)
+	lo := ei - epochsPerWindow + 1
+	w := len(s.bounds) + 1
+	for i := range s.cum {
+		s.cum[i] = 0
+	}
+	var n int64
+	for slot := 0; slot < epochsPerWindow; slot++ {
+		at := s.slotAt[slot]
+		if at < lo || at > ei {
+			continue
+		}
+		row := s.counts[slot*w : (slot+1)*w]
+		for i, c := range row {
+			s.cum[i] += float64(c)
+			n += int64(c)
+		}
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	rank := q * float64(n)
+	cum := 0.0
+	for i, ub := range s.bounds {
+		in := s.cum[i]
+		if cum+in >= rank && in > 0 {
+			low := 0.0
+			if i > 0 {
+				low = s.bounds[i-1]
+			}
+			return low + (ub-low)*(rank-cum)/in, n
+		}
+		cum += in
+	}
+	return s.bounds[len(s.bounds)-1], n
+}
+
+// WindowCounter is the ratio-metric counterpart of WindowSketch: a
+// sliding-window sum with the same epoch-ring expiry semantics.
+type WindowCounter struct {
+	epoch  float64
+	sums   [epochsPerWindow]int64
+	slotAt [epochsPerWindow]int64
+}
+
+// NewWindowCounter returns a counter covering roughly the last window
+// seconds.
+func NewWindowCounter(window float64) *WindowCounter {
+	c := &WindowCounter{epoch: window / epochsPerWindow}
+	for i := range c.slotAt {
+		c.slotAt[i] = -1
+	}
+	return c
+}
+
+// Add records n at virtual time t.
+func (c *WindowCounter) Add(t float64, n int64) {
+	ei := int64(t / c.epoch)
+	slot := int(ei % epochsPerWindow)
+	if c.slotAt[slot] != ei {
+		c.sums[slot] = 0
+		c.slotAt[slot] = ei
+	}
+	c.sums[slot] += n
+}
+
+// Sum returns the windowed total at virtual time t.
+func (c *WindowCounter) Sum(t float64) int64 {
+	ei := int64(t / c.epoch)
+	lo := ei - epochsPerWindow + 1
+	var total int64
+	for slot := 0; slot < epochsPerWindow; slot++ {
+		if at := c.slotAt[slot]; at >= lo && at <= ei {
+			total += c.sums[slot]
+		}
+	}
+	return total
+}
+
+// BudgetBurnBounds are the sketch buckets for the controller budget-burn
+// ratio h/k (a decision's owed repair shares over its group size).
+var BudgetBurnBounds = []float64{0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.5, 0.65, 0.8, 1}
+
+// isFinite reports whether v is a usable configuration value.
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }

@@ -236,6 +236,10 @@ func (m *Metrics) Sink() Sink {
 					break
 				}
 			}
+		case KindHealthAlert:
+			m.healthEvent("health_alerts", e.Zone)
+		case KindHealthClear:
+			m.healthEvent("health_clears", e.Zone)
 		}
 	}
 }
@@ -297,6 +301,17 @@ func (m *Metrics) ControllerDecisions() int64 { return m.ctrlDecisions.Value() }
 // decision owed (0 when no decision ever owed shares) — the witness a
 // budgeted policy stayed within its cap.
 func (m *Metrics) ControllerMaxH() int64 { return m.ctrlMaxH.Load() }
+
+// healthEvent counts one health transition, session-wide and (when the
+// alert names a zone) per zone. Counters are created lazily through the
+// registry — alerts are rare transitions, and runs without an SLO keep
+// their registry contents byte-identical to before.
+func (m *Metrics) healthEvent(name string, z scoping.ZoneID) {
+	m.Reg.Counter(Key{Name: name, Node: topology.NoNode, Zone: scoping.NoZone}).Inc()
+	if z != scoping.NoZone {
+		m.Reg.Counter(Key{Name: name, Node: topology.NoNode, Zone: z}).Inc()
+	}
+}
 
 // FaultDrops returns the fault-drop total.
 func (m *Metrics) FaultDrops() int64 { return m.faultDrops.Value() }

@@ -24,10 +24,12 @@ func NewRecorder(capacity int, filter func(Kind) bool) *Recorder {
 
 // ControlPlaneOnly is the standard flight-recorder filter: everything
 // except per-packet transport events and the static trace preamble.
+// Health alerts and clears pass — a dump triggered by an alert should
+// show the alert itself in the tail.
 func ControlPlaneOnly(k Kind) bool {
 	switch k {
 	case KindPacketSent, KindPacketDelivered, KindPacketLost,
-		KindZoneInfo, KindZoneMember:
+		KindZoneInfo, KindZoneMember, KindRunInfo:
 		return false
 	}
 	return true

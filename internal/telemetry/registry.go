@@ -269,19 +269,63 @@ func keyLess(a, b Key) bool {
 // WritePrometheus renders the registry in Prometheus text exposition
 // format, keys sorted, every metric prefixed "sharqfec_".
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	return r.writeProm(w, nil, false)
+}
+
+// WritePrometheusMeta renders the same exposition with a "# TYPE" line
+// per metric family, plus a "# HELP" line for families present in help
+// (keyed by the bare metric name, without prefix or _total suffix).
+// This is what a long-lived scrape endpoint should serve; the plain
+// WritePrometheus output stays byte-stable for existing consumers.
+func (r *Registry) WritePrometheusMeta(w io.Writer, help map[string]string) error {
+	return r.writeProm(w, help, true)
+}
+
+// meta emits the HELP/TYPE header the first time a family appears.
+func writeMeta(w io.Writer, last *string, name, exposed, typ string, help map[string]string) error {
+	if exposed == *last {
+		return nil
+	}
+	*last = exposed
+	if h, ok := help[name]; ok {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", exposed, h); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "# TYPE %s %s\n", exposed, typ)
+	return err
+}
+
+func (r *Registry) writeProm(w io.Writer, help map[string]string, meta bool) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	last := ""
 	for _, k := range r.sortedCounterKeys() {
+		if meta {
+			if err := writeMeta(w, &last, k.Name, "sharqfec_"+k.Name+"_total", "counter", help); err != nil {
+				return err
+			}
+		}
 		if _, err := fmt.Fprintf(w, "sharqfec_%s_total%s %d\n", k.Name, k.labels(), r.counters[k].Value()); err != nil {
 			return err
 		}
 	}
 	for _, k := range r.sortedGaugeKeys() {
+		if meta {
+			if err := writeMeta(w, &last, k.Name, "sharqfec_"+k.Name, "gauge", help); err != nil {
+				return err
+			}
+		}
 		if _, err := fmt.Fprintf(w, "sharqfec_%s%s %g\n", k.Name, k.labels(), r.gauges[k].Value()); err != nil {
 			return err
 		}
 	}
 	for _, k := range r.sortedHistKeys() {
+		if meta {
+			if err := writeMeta(w, &last, k.Name, "sharqfec_"+k.Name, "histogram", help); err != nil {
+				return err
+			}
+		}
 		h := r.hists[k]
 		cum := int64(0)
 		for i, ub := range h.bounds {
@@ -314,6 +358,35 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// PromHelp is the curated HELP text for the families a live node
+// exposes, keyed by bare metric name (WritePrometheusMeta adds the
+// prefix and counter suffix).
+var PromHelp = map[string]string{
+	"nacks_sent":         "NACK transmissions, by addressed scope zone",
+	"nacks_suppressed":   "NACKs cancelled by suppression, by observer leaf zone",
+	"repairs_sent":       "repair-share transmissions, by addressed scope zone",
+	"repairs_injected":   "preemptively injected repair shares, by scope zone",
+	"losses_detected":    "data packets declared lost, by observer leaf zone",
+	"groups_decoded":     "FEC groups fully reconstructed, by observer leaf zone",
+	"losses_unrecovered": "losses never recovered by session end",
+	"scope_escalations":  "NACK scope widenings, by observer leaf zone",
+	"zcr_elections":      "ZCR belief changes, by zone",
+	"delivered_pkts":     "packet deliveries, by scope zone and packet kind",
+	"delivered_bytes":    "delivered wire bytes, by scope zone and packet kind",
+	"sent_pkts":          "packet transmissions, by scope zone and packet kind",
+	"loss_drops":         "loss-model packet drops",
+	"tail_drops":         "transmit-queue overflow drops",
+	"fault_drops":        "drops on administratively-down links",
+	"fault_events":       "scripted fault activations",
+	"decode_latency_s":   "FEC decode latency: first share seen to reconstruction",
+	"rtt_sample_s":       "echo-based RTT samples",
+	"recovery_latency_s": "end-to-end loss recovery latency",
+	"pred_zlc":           "rate-control predicted zone loss count",
+	"ctrl_h":             "rate-control decided per-group repair injection",
+	"health_alerts":      "SLO objectives entering violation (health engine)",
+	"health_clears":      "SLO objectives leaving violation (health engine)",
 }
 
 // Snapshot returns every counter and gauge as an expvar-style flat map:

@@ -85,6 +85,10 @@ type Span struct {
 	// DupLoss counts extra loss_detected events folded into this span
 	// (re-detections after an agent restart).
 	DupLoss int
+
+	// Alerts counts health_alert events that fired while this span was
+	// open — recoveries that ran under a declared SLO violation.
+	Alerts int
 }
 
 // Latency returns the end-to-end recovery latency in virtual seconds.
@@ -107,6 +111,9 @@ func (s Span) Format() string {
 	}
 	if s.LateData {
 		line += " late-data"
+	}
+	if s.Alerts > 0 {
+		line += fmt.Sprintf(" alerts=%d", s.Alerts)
 	}
 	return line
 }
@@ -181,9 +188,10 @@ type key struct {
 
 // openSpan is a loss awaiting its terminal event.
 type openSpan struct {
-	seq   int64
-	start float64
-	dup   int
+	seq    int64
+	start  float64
+	dup    int
+	alerts int
 }
 
 // groupState accumulates one (receiver, group)'s control-plane history.
@@ -334,6 +342,15 @@ func (a *Assembler) handle(e telemetry.Event) {
 		a.openCount -= len(gs.open)
 		gs.open = gs.open[:0]
 
+	case telemetry.KindHealthAlert:
+		// Tag every in-flight recovery: it is now running under a
+		// declared SLO violation.
+		for _, gs := range a.groups {
+			for i := range gs.open {
+				gs.open[i].alerts++
+			}
+		}
+
 	case telemetry.KindLossUnrecovered:
 		gs := a.groups[key{e.Node, e.Group}]
 		if gs == nil {
@@ -384,6 +401,7 @@ func (a *Assembler) build(n topology.NodeID, g int64, o openSpan, gs *groupState
 		Escalations:     gs.escalations,
 		MaxBackoff:      gs.maxBackoff,
 		DupLoss:         o.dup,
+		Alerts:          o.alerts,
 	}
 	if recovered {
 		switch {

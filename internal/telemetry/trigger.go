@@ -1,0 +1,57 @@
+package telemetry
+
+import "fmt"
+
+// TriggeredDump is one flight-recorder snapshot with the reason that
+// forced it.
+type TriggeredDump struct {
+	T      float64
+	Reason string
+	Events []string
+}
+
+// MaxAutoDumps caps how many alert-triggered snapshots a run keeps:
+// an alert storm should not turn the forensic path into an allocator.
+// Explicit Fire calls (end-of-run anomalies) are never capped.
+const MaxAutoDumps = 16
+
+// DumpTrigger is the single bus-driven forensic path: every
+// health_alert event snapshots the flight recorder's ring, so the dump
+// carries the control-plane history that led into the violation — for
+// any run with a recorder, not just RunChaos. Like the Recorder it is
+// built for the single-threaded simulator sink chain.
+type DumpTrigger struct {
+	rec   *Recorder
+	auto  int
+	dumps []TriggeredDump
+}
+
+// NewDumpTrigger watches rec.
+func NewDumpTrigger(rec *Recorder) *DumpTrigger { return &DumpTrigger{rec: rec} }
+
+// Sink returns the alert-watching sink for Bus.Attach. Attach it after
+// the recorder's sink, so a dump includes the triggering alert itself.
+func (d *DumpTrigger) Sink() Sink {
+	return func(e Event) {
+		if e.Kind != KindHealthAlert || d.auto >= MaxAutoDumps {
+			return
+		}
+		d.auto++
+		d.fire(e.T, fmt.Sprintf("health_alert slo=%d zone=%d value=%g", e.A, int(e.Zone), e.F))
+	}
+}
+
+// Fire snapshots the ring for an out-of-band reason (e.g. an anomalous
+// end of run).
+func (d *DumpTrigger) Fire(t float64, reason string) { d.fire(t, reason) }
+
+func (d *DumpTrigger) fire(t float64, reason string) {
+	d.dumps = append(d.dumps, TriggeredDump{T: t, Reason: reason, Events: d.rec.Dump()})
+}
+
+// Dumps returns every snapshot taken so far, oldest first (a copy).
+func (d *DumpTrigger) Dumps() []TriggeredDump {
+	out := make([]TriggeredDump, len(d.dumps))
+	copy(out, d.dumps)
+	return out
+}

@@ -3,14 +3,41 @@ package sharqfec
 import (
 	"fmt"
 	"io"
+	"math"
 
 	"sharqfec/internal/analysis"
 	"sharqfec/internal/eventq"
 	"sharqfec/internal/scoping"
 	"sharqfec/internal/telemetry"
+	"sharqfec/internal/telemetry/health"
 	"sharqfec/internal/telemetry/spans"
 	"sharqfec/internal/topology"
 )
+
+// SLOSpec is a parsed set of health objectives (see ParseSLOSpec).
+// Wrapping the internal spec keeps the health package's types out of
+// the public config surface.
+type SLOSpec struct {
+	spec *health.Spec
+}
+
+// ParseSLOSpec reads an SLO file: one objective per line in the form
+//
+//	<metric> [pNN] <= | >= <value> [window=W] [fast=F] [min=N]
+//
+// with metrics recovery_latency, suppression_ratio, repair_locality and
+// budget_burn, plus an optional "interval <seconds>" directive setting
+// the evaluation tick. '#' starts a comment.
+func ParseSLOSpec(r io.Reader) (*SLOSpec, error) {
+	spec, err := health.ParseSpec(r)
+	if err != nil {
+		return nil, err
+	}
+	return &SLOSpec{spec: spec}, nil
+}
+
+// String renders the spec's objectives in canonical form, one per line.
+func (s *SLOSpec) String() string { return s.spec.String() }
 
 // TelemetryConfig turns on the observability layer for a run. A nil
 // *TelemetryConfig disables telemetry entirely: no bus is created, no
@@ -38,6 +65,28 @@ type TelemetryConfig struct {
 	// histograms (with p50/p95/p99 gauges) to the metrics registry.
 	// Like the rest of the layer it is strictly passive.
 	Spans bool
+	// SLO, when non-nil, attaches the streaming health engine: the
+	// objectives are evaluated on the virtual clock as the run executes,
+	// and violations come back onto the bus as health_alert /
+	// health_clear events — visible in the trace, the flight recorder,
+	// open recovery spans, and the metrics registry. The engine is a
+	// pure sink plus its own alert emissions; it feeds nothing into the
+	// protocol, so a given seed's protocol execution is identical with
+	// or without it.
+	SLO *SLOSpec
+}
+
+// validate rejects configurations that would otherwise fail silently.
+// A non-finite MetricsInterval slips past the iv <= 0 default check and
+// produces an unbounded (or empty) snapshot schedule.
+func (cfg *TelemetryConfig) validate() error {
+	if cfg == nil {
+		return nil
+	}
+	if iv := cfg.MetricsInterval; math.IsNaN(iv) || math.IsInf(iv, 0) {
+		return fmt.Errorf("sharqfec: TelemetryConfig.MetricsInterval must be finite, got %v", iv)
+	}
+	return nil
 }
 
 // Flight-recorder ring bounds: below MinFlightRecorder a dump carries
@@ -91,6 +140,27 @@ type TelemetryReport struct {
 	rows   []telemetry.ZoneSample
 	flight []string
 	asm    *spans.Assembler
+	health *health.Report
+	dumps  []telemetry.TriggeredDump
+}
+
+// HealthReport returns the per-zone SLO verdicts (nil when the run had
+// no TelemetryConfig.SLO). Safe on a nil report.
+func (r *TelemetryReport) HealthReport() *health.Report {
+	if r == nil {
+		return nil
+	}
+	return r.health
+}
+
+// TriggeredDumps returns every alert- or anomaly-triggered flight
+// recorder snapshot, oldest first (nil when no recorder was configured
+// or nothing fired). Safe on a nil report.
+func (r *TelemetryReport) TriggeredDumps() []telemetry.TriggeredDump {
+	if r == nil {
+		return nil
+	}
+	return r.dumps
 }
 
 // NumSamples returns how many time-series snapshots were taken.
@@ -174,6 +244,8 @@ type telemetryRun struct {
 	events  *telemetry.EventWriter
 	rec     *telemetry.Recorder
 	spans   *spans.Assembler
+	health  *health.Engine
+	trigger *telemetry.DumpTrigger
 }
 
 // busOf returns the run's bus, nil-safe, for wiring into configs that
@@ -216,9 +288,29 @@ func startTelemetry(cfg *TelemetryConfig, q *eventq.Queue, h *scoping.Hierarchy,
 		t.rec = telemetry.NewRecorder(rec, telemetry.ControlPlaneOnly)
 		t.bus.Attach(t.rec.Sink())
 	}
-	// Self-describing preamble at T = 0: the zone hierarchy rendered as
-	// events, so an exported JSONL trace replays offline with identical
-	// blame attribution (cmd/sharqfec-trace needs no topology input).
+	if cfg.SLO != nil {
+		// The engine attaches after the recorder so its alert emissions
+		// (which fan out reentrantly) land in the ring before the dump
+		// trigger below fires — a dump always shows the alert that
+		// caused it.
+		t.health = health.NewEngine(cfg.SLO.spec, t.bus)
+		t.bus.Attach(t.health.Sink())
+	}
+	if t.rec != nil {
+		// One bus-driven forensic path for every run with a recorder:
+		// alert-triggered snapshots here, end-of-run anomaly snapshots
+		// via trigger.Fire (RunChaos).
+		t.trigger = telemetry.NewDumpTrigger(t.rec)
+		t.bus.Attach(t.trigger.Sink())
+	}
+	// Self-describing preamble at T = 0: the run descriptor, then the
+	// zone hierarchy rendered as events, so an exported JSONL trace
+	// replays offline with identical blame attribution and identical
+	// health verdicts (cmd/sharqfec-trace needs no topology input).
+	t.bus.Emit(telemetry.Event{
+		Kind: telemetry.KindRunInfo, Node: topology.NoNode, Zone: scoping.NoZone,
+		Group: -1, F: until,
+	})
 	for z := 0; z < h.NumZones(); z++ {
 		zone := scoping.ZoneID(z)
 		parent := int64(-1)
@@ -252,6 +344,12 @@ func (t *telemetryRun) finish(until float64) (*TelemetryReport, error) {
 	if t == nil {
 		return nil, nil
 	}
+	if t.health != nil {
+		// Close the health engine first: its final evaluation may still
+		// emit alerts/clears that the recorder, span assembler and dump
+		// trigger should see before anything freezes.
+		t.health.Finish(until)
+	}
 	if t.spans != nil {
 		t.metrics.FinishRecovery()
 		// Observers only fire during the run; drop the closure so two
@@ -274,8 +372,17 @@ func (t *telemetryRun) finish(until float64) (*TelemetryReport, error) {
 		rep.LocalRepairFrac = float64(local) / float64(local+global)
 	}
 	rep.asm = t.spans
+	if t.health != nil {
+		rep.health = t.health.Report()
+	}
 	if t.rec != nil {
 		rep.flight = t.rec.Dump()
+	}
+	if t.trigger != nil {
+		// Snapshot, not the trigger itself: the report must stay free of
+		// func values for reflect.DeepEqual comparability, and the
+		// trigger holds the recorder (whose filter is a func).
+		rep.dumps = t.trigger.Dumps()
 	}
 	if t.events != nil {
 		rep.EventsWritten = t.events.Count()
