@@ -24,6 +24,7 @@ import (
 	"sharqfec/internal/scoping"
 	"sharqfec/internal/simrand"
 	"sharqfec/internal/telemetry"
+	"sharqfec/internal/telemetry/census"
 	"sharqfec/internal/telemetry/health"
 	"sharqfec/internal/telemetry/spans"
 	"sharqfec/internal/topology"
@@ -628,4 +629,54 @@ func BenchmarkHealthSink(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(events))/(float64(b.Elapsed().Nanoseconds())/float64(b.N))*1e3, "events/µs")
+}
+
+// BenchmarkCensusSink measures the cost-census ingest paths — the bus
+// sink and the netsim hop tap — over a recorded burst-loss event
+// stream. Both must stay at 0 allocs/op in steady state: they run for
+// every packet on every link, so any per-event garbage would dominate
+// large-topology runs. Gated in CI on allocs/op.
+func BenchmarkCensusSink(b *testing.B) {
+	var buf bytes.Buffer
+	if _, err := RunData(DataConfig{
+		Protocol:   SHARQFEC,
+		Seed:       5,
+		NumPackets: 128,
+		Until:      20,
+		Faults:     BurstLossPlan(8),
+		Telemetry:  &TelemetryConfig{Events: &buf},
+	}); err != nil {
+		b.Fatal(err)
+	}
+	var events []telemetry.Event
+	for _, line := range bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n")) {
+		e, err := telemetry.ParseEventLine(line)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events = append(events, e)
+	}
+	spec := topology.Figure10(topology.Figure10Params{})
+	h, err := scoping.Build(spec.Zones)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := census.New(telemetry.NewRegistry(), h, spec.Graph.NumNodes())
+	eng.BindLinks(spec.Graph)
+	sink := eng.Sink()
+	pkt := &packet.Data{Payload: make([]byte, 1024)}
+	nLinks := spec.Graph.NumLinks()
+	for i, e := range events {
+		sink(e) // warm: first touches of every zone cell
+		eng.ObserveHop(i%nLinks, i&1, pkt)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, e := range events {
+			sink(e)
+			eng.ObserveHop(j%nLinks, j&1, pkt)
+		}
+	}
+	b.ReportMetric(float64(2*len(events))/(float64(b.Elapsed().Nanoseconds())/float64(b.N))*1e3, "ops/µs")
 }

@@ -1,0 +1,133 @@
+package sharqfec
+
+import (
+	"testing"
+
+	"sharqfec/internal/telemetry/census"
+)
+
+// TestCensusPassiveOnProtocol: arming the cost census must not perturb
+// the protocol execution — same seed, same results, census on or off.
+// This is the root-level guard behind keeping the five fixed-seed
+// digests census-free.
+func TestCensusPassiveOnProtocol(t *testing.T) {
+	run := func(on bool) *DataResult {
+		res, err := RunData(DataConfig{
+			Protocol:   SHARQFEC,
+			Seed:       5,
+			NumPackets: 256,
+			Until:      30,
+			Faults:     BurstLossPlan(8),
+			Telemetry:  &TelemetryConfig{Census: on, MetricsInterval: 1},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	base := run(false)
+	with := run(true)
+	if base.CompletionRate != with.CompletionRate ||
+		base.NACKsSent != with.NACKsSent ||
+		base.RepairsSent != with.RepairsSent ||
+		base.RepairsInjected != with.RepairsInjected ||
+		base.Telemetry.SuppressionRatio != with.Telemetry.SuppressionRatio {
+		t.Fatalf("census perturbed the protocol:\nwithout: %+v\nwith:    %+v", base, with)
+	}
+	if base.Telemetry.CensusSummary() != nil {
+		t.Fatal("census summary present with census off")
+	}
+	if with.Telemetry.CensusSummary() == nil {
+		t.Fatal("census summary missing with census on")
+	}
+}
+
+// TestCensusSummaryConsistency cross-checks the census matrices against
+// the protocol's own counters on a lossy run.
+func TestCensusSummaryConsistency(t *testing.T) {
+	res, err := RunData(DataConfig{
+		Protocol:   SHARQFEC,
+		Seed:       7,
+		NumPackets: 256,
+		Until:      30,
+		Faults:     BurstLossPlan(8),
+		Telemetry:  &TelemetryConfig{Census: true, MetricsInterval: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Telemetry.CensusSummary()
+	if s == nil {
+		t.Fatal("no census summary")
+	}
+	// Preemptive share accounting agrees with the protocol counter.
+	if s.FECShares != int64(res.RepairsInjected) {
+		t.Fatalf("census FEC shares %d != protocol repairs injected %d", s.FECShares, res.RepairsInjected)
+	}
+	// Data dominates a mostly-healthy multicast run; everything the
+	// paper scenario exercises should have crossed at least one link.
+	for _, cl := range []census.Class{census.ClassData, census.ClassNACK, census.ClassRepair, census.ClassControl} {
+		if s.LinkPkts[cl] == 0 {
+			t.Errorf("no %v traffic observed on any link", cl)
+		}
+	}
+	if res.RepairsInjected > 0 && s.LinkPkts[census.ClassFEC] == 0 {
+		t.Error("preemptive shares injected but no fec-class link crossings")
+	}
+	for cl := census.Class(0); cl < census.NumClasses; cl++ {
+		if s.BoundaryPkts[cl] > s.LinkPkts[cl] {
+			t.Errorf("%v: boundary crossings %d exceed link crossings %d", cl, s.BoundaryPkts[cl], s.LinkPkts[cl])
+		}
+	}
+	if s.Epochs == 0 {
+		t.Error("no census epochs recorded despite MetricsInterval")
+	}
+	if s.Queue.Dispatched == 0 {
+		t.Error("scheduler gauges never sampled")
+	}
+	if rows := res.Telemetry.CensusEpochs(); len(rows) != s.Epochs {
+		t.Errorf("CensusEpochs has %d rows, summary says %d", len(rows), s.Epochs)
+	}
+}
+
+// TestScalingSweepSmall runs the measured Figure-8 sweep at its
+// smallest useful size and sanity-checks the shape of every claim the
+// report makes.
+func TestScalingSweepSmall(t *testing.T) {
+	rep, err := RunScalingSweep(ScalingSweepConfig{
+		Subscribers: []int{2},
+		Seed:        11,
+		Seconds:     5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != 1 {
+		t.Fatalf("sweep returned %d points, want 1", len(rep.Points))
+	}
+	p := rep.Points[0]
+	// National 2x2x2 with 2 subscribers/suburb: 2 region + 4 city
+	// receivers + 16 subscribers = 22.
+	if p.Receivers != 22 {
+		t.Fatalf("receiver count %d, want 22", p.Receivers)
+	}
+	if p.ScopedStateMeasured <= 0 || p.FlatStateMeasured <= 0 {
+		t.Fatalf("state not measured: scoped %d flat %d", p.ScopedStateMeasured, p.FlatStateMeasured)
+	}
+	// The whole point of scoping: flat sessions maintain strictly more
+	// per-node state, and more of their control traffic escapes the
+	// region boundaries.
+	if p.StateRatioMeasured <= 1 {
+		t.Fatalf("measured state ratio %.2f, want > 1 (flat should cost more)", p.StateRatioMeasured)
+	}
+	if p.FlatEscapeFrac <= p.ScopedEscapeFrac {
+		t.Fatalf("escape fractions: flat %.3f <= scoped %.3f; scoping should localize",
+			p.FlatEscapeFrac, p.ScopedEscapeFrac)
+	}
+	if p.StateDrift < 0 {
+		t.Fatalf("negative drift %v", p.StateDrift)
+	}
+	if rep.String() == "" {
+		t.Fatal("empty report rendering")
+	}
+}

@@ -6,10 +6,10 @@
 //
 //	sharqfec-figures [-fig ID] [-seed N] [-series]
 //
-// IDs: 1, 8, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, zcr, session,
-// plus the extensions sweep, failover, latejoin, reports, cascade, or
-// "all" (default). See DESIGN.md's experiment index for what each
-// regenerates.
+// IDs: 1, 8, 8m (the measured Figure-8 census sweep), 11, 12, 13, 14,
+// 15, 16, 17, 18, 19, 20, 21, zcr, session, plus the extensions sweep,
+// failover, latejoin, reports, cascade, or "all" (default). See
+// DESIGN.md's experiment index for what each regenerates.
 package main
 
 import (
@@ -35,6 +35,7 @@ func main() {
 	figures := map[string]func() error{
 		"1":        fig1,
 		"8":        fig8,
+		"8m":       fig8Measured,
 		"11":       func() error { return figRTT(11, 3) },
 		"12":       func() error { return figRTT(12, 25) },
 		"13":       func() error { return figRTT(13, 36) },
@@ -54,7 +55,7 @@ func main() {
 		"reports":  figReports,
 		"cascade":  figCascade,
 	}
-	order := []string{"1", "8", "zcr", "11", "12", "13", "14", "15", "16", "17", "18", "19", "20", "21", "session", "sweep", "failover", "latejoin", "reports", "cascade"}
+	order := []string{"1", "8", "8m", "zcr", "11", "12", "13", "14", "15", "16", "17", "18", "19", "20", "21", "session", "sweep", "failover", "latejoin", "reports", "cascade"}
 
 	if *fig == "all" {
 		for _, id := range order {
@@ -87,6 +88,16 @@ func fig1() error {
 func fig8() error {
 	header("Figure 8 — national hierarchy state reduction (analytic)")
 	fmt.Print(sharqfec.Figure8Report())
+	return nil
+}
+
+func fig8Measured() error {
+	header("Figure 8 — measured state & control-traffic scaling (census sweep, E20)")
+	rep, err := sharqfec.RunScalingSweep(sharqfec.ScalingSweepConfig{Seed: *seed})
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep.String())
 	return nil
 }
 

@@ -36,6 +36,7 @@ import (
 	"sharqfec/internal/scoping"
 	"sharqfec/internal/simrand"
 	"sharqfec/internal/telemetry"
+	"sharqfec/internal/telemetry/census"
 	"sharqfec/internal/telemetry/health"
 	"sharqfec/internal/topology"
 	"sharqfec/internal/udpmesh"
@@ -89,12 +90,13 @@ func main() {
 	cfg.Source = spec.Source
 	cfg.NumPackets = *packets
 	cfg.Rate = *rate
+	var cens *census.Engine
 	if *metricsAddr != "" {
-		cfg.Telemetry = serveMetrics(*metricsAddr, h, spec.Graph.NumNodes(), slo)
+		cfg.Telemetry, cens = serveMetrics(*metricsAddr, h, spec.Graph.NumNodes(), slo)
 	}
 
 	if *demo {
-		runDemo(spec, h, cfg, *loss, *seed, *warmup, *timeout)
+		runDemo(spec, h, cfg, cens, *loss, *seed, *warmup, *timeout)
 		return
 	}
 
@@ -110,6 +112,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	registerProbe(cens, id, node, ag)
 	groups := cfg.NumGroups()
 	done := make(chan struct{}, groups)
 	if !*source {
@@ -150,10 +153,24 @@ func main() {
 // The protocol goroutines only touch atomic counters on the scrape
 // path, and the health engine serializes behind its own mutex, so
 // scrapes never block the session.
-func serveMetrics(addr string, h *scoping.Hierarchy, numNodes int, slo *health.Spec) *telemetry.Bus {
+//
+// The returned census engine rides the same bus and registry, so the
+// census_* families (scope-addressed traffic by class, per-zone state,
+// session RTT tables) appear on /metrics too. There is no link matrix
+// or virtual scheduler on a live node; state probes are registered per
+// agent and sampled by a wall-clock ticker.
+func serveMetrics(addr string, h *scoping.Hierarchy, numNodes int, slo *health.Spec) (*telemetry.Bus, *census.Engine) {
 	bus := telemetry.NewBus()
 	m := telemetry.NewMetrics(nil, h, numNodes)
 	bus.Attach(m.Sink())
+	cens := census.New(m.Reg, h, numNodes)
+	bus.Attach(cens.Sink())
+	start := time.Now()
+	go func() {
+		for range time.Tick(time.Second) {
+			cens.Snapshot(time.Since(start).Seconds())
+		}
+	}()
 	var eng *health.Engine
 	if slo != nil {
 		eng = health.NewEngine(slo, bus)
@@ -206,11 +223,37 @@ func serveMetrics(addr string, h *scoping.Hierarchy, numNodes int, slo *health.S
 			log.Printf("metrics endpoint: %v", err)
 		}
 	}()
-	return bus
+	return bus, cens
+}
+
+// registerProbe installs the agent's state-census probe, hopping onto
+// the node's executor so the read never races the protocol goroutine.
+// A node that closes (or wedges) mid-probe reports zero after a grace
+// period rather than blocking the census ticker.
+func registerProbe(c *census.Engine, id topology.NodeID, node *udpmesh.Node, ag *core.Agent) {
+	if c == nil {
+		return
+	}
+	c.SetProbe(id, func() census.State {
+		res := make(chan core.StateCensus, 1)
+		node.Do(func() { res <- ag.StateCensus() })
+		select {
+		case st := <-res:
+			return census.State{
+				Groups:         int64(st.ActiveGroups),
+				Timers:         int64(st.PendingTimers),
+				RepairQueue:    int64(st.RepairQueue),
+				ResidentBytes:  int64(st.ResidentBytes),
+				SessionEntries: int64(st.SessionEntries),
+			}
+		case <-time.After(time.Second):
+			return census.State{}
+		}
+	})
 }
 
 // runDemo hosts every member in-process on ephemeral ports.
-func runDemo(spec *topology.Spec, h *scoping.Hierarchy, cfg core.Config, loss float64, seed uint64, warmup, timeout time.Duration) {
+func runDemo(spec *topology.Spec, h *scoping.Hierarchy, cfg core.Config, cens *census.Engine, loss float64, seed uint64, warmup, timeout time.Duration) {
 	_, nodes, err := udpmesh.NewLocalMesh(h, spec.Members(), loss, seed)
 	if err != nil {
 		log.Fatal(err)
@@ -234,6 +277,7 @@ func runDemo(spec *topology.Spec, h *scoping.Hierarchy, cfg core.Config, loss fl
 			ag.OnComplete = func(eventq.Time, uint32, [][]byte) { done <- completion{node} }
 		}
 		agents[m] = ag
+		registerProbe(cens, m, nodes[m], ag)
 	}
 	for _, m := range spec.Members() {
 		ag := agents[m]

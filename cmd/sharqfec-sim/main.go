@@ -47,6 +47,11 @@
 //	                   an online Gilbert–Elliott burst-loss fit)
 //	-rc-budget         adaptive repair budget as a fraction of the
 //	                   group size (default 0.5)
+//	-census            arm the cost-census engine: per-class link and
+//	                   zone-boundary traffic matrices, protocol-state
+//	                   accounting and scheduler gauges; prints the
+//	                   census digest and adds the census columns to
+//	                   -metrics-out exports
 package main
 
 import (
@@ -61,6 +66,7 @@ import (
 	"strings"
 
 	"sharqfec"
+	"sharqfec/internal/telemetry/census"
 )
 
 func main() {
@@ -97,6 +103,7 @@ func main() {
 	sloPath := flag.String("slo", "", "SLO spec file; exit 1 when any objective is violated")
 	rcFlag := flag.String("ratecontrol", "off", "rate-control policy (off | static | adaptive)")
 	rcBudget := flag.Float64("rc-budget", 0, "adaptive repair budget as a fraction of group size (0 = default 0.5)")
+	censusFlag := flag.Bool("census", false, "arm the cost-census engine and print its traffic/state digest")
 	flag.Parse()
 
 	proto, err := sharqfec.ParseProtocol(*protoFlag)
@@ -191,12 +198,13 @@ func main() {
 		}
 	}
 	var eventsFile *os.File
-	if *eventsPath != "" || *metricsPath != "" || wantSpans || *flightRec > 0 || slo != nil {
+	if *eventsPath != "" || *metricsPath != "" || wantSpans || *flightRec > 0 || slo != nil || *censusFlag {
 		cfg.Telemetry = &sharqfec.TelemetryConfig{
 			MetricsInterval: *metricsInterval,
 			Spans:           wantSpans,
 			FlightRecorder:  *flightRec,
 			SLO:             slo,
+			Census:          *censusFlag,
 		}
 		if *eventsPath != "" {
 			f, err := os.Create(*eventsPath)
@@ -271,6 +279,18 @@ func main() {
 			fmt.Println()
 			fmt.Print(t.RecoveryReport().String())
 		}
+	}
+	if cs := res.Telemetry.CensusSummary(); cs != nil {
+		fmt.Println("\ncost census (link crossings by class):")
+		fmt.Printf("  %-8s %12s %14s %14s\n", "class", "pkts", "bytes", "boundary pkts")
+		for c := census.Class(0); c < census.NumClasses; c++ {
+			fmt.Printf("  %-8s %12d %14d %14d\n",
+				c, cs.LinkPkts[c], cs.LinkBytes[c], cs.BoundaryPkts[c])
+		}
+		fmt.Printf("preemptive shares:     %d\n", cs.FECShares)
+		fmt.Printf("peak RTT entries/node: %d\n", cs.PeakRTT)
+		fmt.Printf("scheduler:             %d dispatched, depth %d, free %d, %.0f ev/s\n",
+			cs.Queue.Dispatched, cs.Queue.Depth, cs.Queue.Free, cs.Queue.FireRate)
 	}
 	if hr := res.Telemetry.HealthReport(); hr != nil {
 		fmt.Println()

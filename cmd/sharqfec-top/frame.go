@@ -1,0 +1,200 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// snapshot is everything one frame renders from: the polled metric map,
+// the health endpoint's verdict, and the poll identity. It carries no
+// connection state, so renderFrame is a pure function of it (testable
+// without a node).
+type snapshot struct {
+	Addr   string
+	Time   time.Time
+	Vars   map[string]float64
+	Health healthStatus
+}
+
+// healthStatus is the decoded /healthz verdict. Exactly one of the
+// three shapes holds: OK (Summary set), violating (Alerts non-empty),
+// or unreachable/unknown (Summary set, OK false).
+type healthStatus struct {
+	OK      bool
+	Summary string
+	Alerts  []string
+}
+
+// renderFrame formats one whole frame: the title line, the health
+// verdict, the per-zone table, and — when the node is violating its
+// SLOs — every active alert inline below the table.
+func renderFrame(s snapshot) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sharqfec-top — %s — %s\n", s.Addr, s.Time.Format("15:04:05"))
+	switch {
+	case s.Health.OK:
+		fmt.Fprintf(&b, "health: OK — %s\n\n", s.Health.Summary)
+	case len(s.Health.Alerts) > 0:
+		fmt.Fprintf(&b, "health: VIOLATING (%d)\n\n", len(s.Health.Alerts))
+	default:
+		fmt.Fprintf(&b, "health: %s\n\n", s.Health.Summary)
+	}
+	b.WriteString(table(s.Vars))
+	if len(s.Health.Alerts) > 0 {
+		b.WriteString("\nactive alerts:\n")
+		for _, a := range s.Health.Alerts {
+			fmt.Fprintf(&b, "  ! %s\n", a)
+		}
+	}
+	return b.String()
+}
+
+// columns are the per-zone vital signs, in display order, each backed
+// by one registry counter family.
+var columns = []struct{ header, metric string }{
+	{"nack", "nacks_sent"},
+	{"supp", "nacks_suppressed"},
+	{"repair", "repairs_sent"},
+	{"inject", "repairs_injected"},
+	{"loss", "losses_detected"},
+	{"decoded", "groups_decoded"},
+	{"unrec", "losses_unrecovered"},
+	{"alerts", "health_alerts"},
+}
+
+// censusColumns are the cost-census gauges appended when the node runs
+// the census engine: resident protocol state per zone and cumulative
+// boundary crossings.
+var censusColumns = []struct{ header, metric string }{
+	{"groups", "census_groups"},
+	{"timers", "census_timers"},
+	{"repq", "census_repair_queue"},
+	{"res_kb", "census_resident_bytes"}, // rendered in KiB
+	{"rtt", "census_rtt_entries"},
+	{"bnd_pkt", ""}, // derived: Σ census_boundary_pkts_<class>
+}
+
+// censusClasses mirrors census.Class display order for the derived
+// boundary column (the cmd keeps its own list so the frame renderer
+// stays a pure string → float64 map consumer).
+var censusClasses = [...]string{"data", "nack", "repair", "fec", "ctrl"}
+
+// hasCensus reports whether any census family is present in the metric
+// map; without one the census columns stay off the board entirely.
+func hasCensus(vars map[string]float64) bool {
+	for key := range vars {
+		if strings.HasPrefix(key, "census_") {
+			return true
+		}
+	}
+	return false
+}
+
+// table renders the per-zone metric rows. The session aggregate (keys
+// with no zone label) prints as zone "all"; zone rows sort numerically.
+// Census columns appear only when the node exports census families.
+func table(vars map[string]float64) string {
+	rows := map[string]map[string]float64{} // zone → metric → value
+	for key, v := range vars {
+		name, labels := splitKey(key)
+		if strings.Contains(key, ".") || labels["node"] != "" || labels["kind"] != "" {
+			continue // histogram parts and finer-grained families stay off the board
+		}
+		zone, ok := labels["zone"]
+		if !ok {
+			zone = "all"
+		}
+		m := rows[zone]
+		if m == nil {
+			m = map[string]float64{}
+			rows[zone] = m
+		}
+		m[name] += v
+	}
+
+	zones := make([]string, 0, len(rows))
+	for z := range rows {
+		if z != "all" {
+			zones = append(zones, z)
+		}
+	}
+	sort.Slice(zones, func(i, j int) bool {
+		a, _ := strconv.Atoi(zones[i])
+		b, _ := strconv.Atoi(zones[j])
+		return a < b
+	})
+	if _, ok := rows["all"]; ok {
+		zones = append(zones, "all")
+	}
+
+	census := hasCensus(vars)
+	w := new(strings.Builder)
+	tw := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
+	tw("%6s", "zone")
+	for _, c := range columns {
+		tw(" %8s", c.header)
+	}
+	tw(" %7s", "supp%")
+	if census {
+		for _, c := range censusColumns {
+			tw(" %8s", c.header)
+		}
+	}
+	tw("\n")
+	for _, z := range zones {
+		m := rows[z]
+		tw("%6s", z)
+		for _, c := range columns {
+			tw(" %8.0f", m[c.metric])
+		}
+		sent, supp := m["nacks_sent"], m["nacks_suppressed"]
+		if sent+supp > 0 {
+			tw(" %6.1f%%", 100*supp/(sent+supp))
+		} else {
+			tw(" %7s", "-")
+		}
+		if census {
+			for _, c := range censusColumns {
+				switch c.header {
+				case "res_kb":
+					tw(" %8.1f", m[c.metric]/1024)
+				case "bnd_pkt":
+					var bnd float64
+					for _, cl := range censusClasses {
+						bnd += m["census_boundary_pkts_"+cl]
+					}
+					tw(" %8.0f", bnd)
+				default:
+					tw(" %8.0f", m[c.metric])
+				}
+			}
+		}
+		tw("\n")
+	}
+	if len(zones) == 0 {
+		tw("(no metrics yet)\n")
+	}
+	return w.String()
+}
+
+// splitKey parses `name{k="v",...}` into the bare name and its labels.
+func splitKey(key string) (string, map[string]string) {
+	i := strings.IndexByte(key, '{')
+	if i < 0 {
+		return key, nil
+	}
+	name := key[:i]
+	labels := map[string]string{}
+	body := strings.TrimSuffix(key[i+1:], "}")
+	for _, part := range strings.Split(body, ",") {
+		k, v, ok := strings.Cut(part, "=")
+		if !ok {
+			continue
+		}
+		labels[k] = strings.Trim(v, `"`)
+	}
+	return name, labels
+}

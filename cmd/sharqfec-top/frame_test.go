@@ -1,0 +1,126 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func testVars() map[string]float64 {
+	return map[string]float64{
+		`nacks_sent{zone="0"}`:       4,
+		`nacks_sent{zone="10"}`:      7,
+		`nacks_sent{zone="2"}`:       1,
+		`nacks_suppressed{zone="0"}`: 12,
+		`repairs_sent{zone="0"}`:     3,
+		`nacks_sent`:                 12, // aggregate, no zone label
+		// Finer-grained families that must stay off the board.
+		`nacks_sent{node="3"}`:                        99,
+		`decode_latency_s.bucket{zone="0",le="+Inf"}`: 50,
+	}
+}
+
+func frameOf(t *testing.T, vars map[string]float64, h healthStatus) string {
+	t.Helper()
+	return renderFrame(snapshot{
+		Addr:   "127.0.0.1:8080",
+		Time:   time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC),
+		Vars:   vars,
+		Health: h,
+	})
+}
+
+func TestRenderFrameZoneOrderAndAggregate(t *testing.T) {
+	frame := frameOf(t, testVars(), healthStatus{OK: true, Summary: "ok"})
+	// Zones sort numerically (0, 2, 10), aggregate row last.
+	i0 := strings.Index(frame, "\n     0")
+	i2 := strings.Index(frame, "\n     2")
+	i10 := strings.Index(frame, "\n    10")
+	iAll := strings.Index(frame, "\n   all")
+	if !(i0 >= 0 && i0 < i2 && i2 < i10 && i10 < iAll) {
+		t.Fatalf("zone rows out of order (0@%d 2@%d 10@%d all@%d):\n%s", i0, i2, i10, iAll, frame)
+	}
+	// The node-labelled and histogram keys must not leak into any row.
+	if strings.Contains(frame, "99") || strings.Contains(frame, "50") {
+		t.Fatalf("finer-grained families leaked into the table:\n%s", frame)
+	}
+	// Suppression percentage for zone 0: 12/(4+12) = 75%.
+	if !strings.Contains(frame, "75.0%") {
+		t.Fatalf("missing suppression ratio:\n%s", frame)
+	}
+}
+
+func TestRenderFrameHealthVerdicts(t *testing.T) {
+	ok := frameOf(t, testVars(), healthStatus{OK: true, Summary: "ok"})
+	if !strings.Contains(ok, "health: OK — ok") {
+		t.Fatalf("missing OK health line:\n%s", ok)
+	}
+	if strings.Contains(ok, "active alerts") {
+		t.Fatalf("healthy frame lists alerts:\n%s", ok)
+	}
+
+	bad := frameOf(t, testVars(), healthStatus{Alerts: []string{
+		"zone 2: nacks_per_loss >= 3 (got 4.1)",
+		"zone 0: suppression_ratio <= 0.5 (got 0.41)",
+	}})
+	if !strings.Contains(bad, "health: VIOLATING (2)") {
+		t.Fatalf("missing violation verdict:\n%s", bad)
+	}
+	// Every active alert renders inline, in order.
+	a1 := strings.Index(bad, "! zone 2: nacks_per_loss")
+	a2 := strings.Index(bad, "! zone 0: suppression_ratio")
+	if a1 < 0 || a2 < 0 || a2 < a1 {
+		t.Fatalf("alert lines missing or out of order:\n%s", bad)
+	}
+
+	unreachable := frameOf(t, testVars(), healthStatus{Summary: "unreachable (refused)"})
+	if !strings.Contains(unreachable, "health: unreachable (refused)") {
+		t.Fatalf("missing unreachable line:\n%s", unreachable)
+	}
+}
+
+func TestRenderFrameCensusColumns(t *testing.T) {
+	vars := testVars()
+	// Without census families the census columns stay hidden.
+	plain := frameOf(t, vars, healthStatus{OK: true, Summary: "ok"})
+	if strings.Contains(plain, "res_kb") {
+		t.Fatalf("census columns shown without census metrics:\n%s", plain)
+	}
+
+	vars[`census_groups{zone="0"}`] = 5
+	vars[`census_resident_bytes{zone="0"}`] = 2048
+	vars[`census_rtt_entries{zone="0"}`] = 17
+	vars[`census_boundary_pkts_data{zone="0"}`] = 30
+	vars[`census_boundary_pkts_ctrl{zone="0"}`] = 12
+	withCensus := frameOf(t, vars, healthStatus{OK: true, Summary: "ok"})
+	for _, h := range []string{"groups", "timers", "repq", "res_kb", "rtt", "bnd_pkt"} {
+		if !strings.Contains(withCensus, h) {
+			t.Fatalf("census header %q missing:\n%s", h, withCensus)
+		}
+	}
+	// resident bytes render in KiB; boundary classes sum.
+	if !strings.Contains(withCensus, "2.0") {
+		t.Fatalf("resident KiB not rendered:\n%s", withCensus)
+	}
+	if !strings.Contains(withCensus, "42") {
+		t.Fatalf("boundary classes not summed:\n%s", withCensus)
+	}
+}
+
+func TestRenderFrameEmpty(t *testing.T) {
+	frame := frameOf(t, map[string]float64{}, healthStatus{Summary: "unreachable"})
+	if !strings.Contains(frame, "(no metrics yet)") {
+		t.Fatalf("missing empty-table notice:\n%s", frame)
+	}
+}
+
+func TestSplitKey(t *testing.T) {
+	name, labels := splitKey(`nacks_sent{zone="3",node="1"}`)
+	if name != "nacks_sent" || labels["zone"] != "3" || labels["node"] != "1" {
+		t.Fatalf("splitKey = %q %v", name, labels)
+	}
+	name, labels = splitKey("plain")
+	if name != "plain" || labels != nil {
+		t.Fatalf("splitKey bare = %q %v", name, labels)
+	}
+}

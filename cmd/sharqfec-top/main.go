@@ -2,7 +2,10 @@
 // sharqfec-node metrics endpoint: it polls the node's expvar JSON
 // (/debug/vars) and health endpoint (/healthz) and redraws a per-zone
 // table of the protocol's vital signs — NACK pressure and suppression,
-// repair traffic, loss/decode progress, and SLO alert counts.
+// repair traffic, loss/decode progress, SLO alert counts, and (when
+// the node runs the census engine) the per-zone cost census: resident
+// protocol state and boundary traffic. Active SLO violations print
+// inline below the table.
 //
 // Usage:
 //
@@ -20,8 +23,6 @@ import (
 	"io"
 	"log"
 	"net/http"
-	"sort"
-	"strconv"
 	"strings"
 	"time"
 )
@@ -37,10 +38,16 @@ func main() {
 
 	client := &http.Client{Timeout: 5 * time.Second}
 	for {
-		frame, err := render(client, *addr)
+		vars, err := fetchVars(client, *addr)
 		if err != nil {
 			log.Fatal(err)
 		}
+		frame := renderFrame(snapshot{
+			Addr:   *addr,
+			Time:   time.Now(),
+			Vars:   vars,
+			Health: fetchHealth(client, *addr),
+		})
 		if *once {
 			fmt.Print(frame)
 			return
@@ -49,21 +56,6 @@ func main() {
 		fmt.Print("\x1b[2J\x1b[H" + frame)
 		time.Sleep(*interval)
 	}
-}
-
-// render fetches one snapshot and formats the whole frame.
-func render(client *http.Client, addr string) (string, error) {
-	vars, err := fetchVars(client, addr)
-	if err != nil {
-		return "", err
-	}
-	healthLine := fetchHealth(client, addr)
-
-	var b strings.Builder
-	fmt.Fprintf(&b, "sharqfec-top — %s — %s\n", addr, time.Now().Format("15:04:05"))
-	fmt.Fprintf(&b, "health: %s\n\n", healthLine)
-	b.WriteString(table(vars))
-	return b.String(), nil
 }
 
 // fetchVars pulls /debug/vars and returns the flat "sharqfec" metric
@@ -86,21 +78,20 @@ func fetchVars(client *http.Client, addr string) (map[string]float64, error) {
 	return doc.Sharqfec, nil
 }
 
-// fetchHealth summarizes /healthz in one line; a missing endpoint is
-// reported, not fatal (older nodes).
-func fetchHealth(client *http.Client, addr string) string {
+// fetchHealth decodes /healthz; a missing endpoint is reported, not
+// fatal (older nodes).
+func fetchHealth(client *http.Client, addr string) healthStatus {
 	resp, err := client.Get("http://" + addr + "/healthz")
 	if err != nil {
-		return "unreachable (" + err.Error() + ")"
+		return healthStatus{Summary: "unreachable (" + err.Error() + ")"}
 	}
 	defer resp.Body.Close()
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 	text := strings.TrimSpace(string(body))
 	if resp.StatusCode == http.StatusOK {
-		return "OK — " + firstLine(text)
+		return healthStatus{OK: true, Summary: firstLine(text)}
 	}
-	lines := strings.Split(text, "\n")
-	return fmt.Sprintf("VIOLATING (%d) — %s", len(lines), strings.Join(lines, "; "))
+	return healthStatus{Alerts: strings.Split(text, "\n")}
 }
 
 func firstLine(s string) string {
@@ -108,99 +99,4 @@ func firstLine(s string) string {
 		return s[:i]
 	}
 	return s
-}
-
-// columns are the per-zone vital signs, in display order, each backed
-// by one registry counter family.
-var columns = []struct{ header, metric string }{
-	{"nack", "nacks_sent"},
-	{"supp", "nacks_suppressed"},
-	{"repair", "repairs_sent"},
-	{"inject", "repairs_injected"},
-	{"loss", "losses_detected"},
-	{"decoded", "groups_decoded"},
-	{"unrec", "losses_unrecovered"},
-	{"alerts", "health_alerts"},
-}
-
-// table renders the per-zone metric rows. The session aggregate (keys
-// with no zone label) prints as zone "all"; zone rows sort numerically.
-func table(vars map[string]float64) string {
-	rows := map[string]map[string]float64{} // zone → metric → value
-	for key, v := range vars {
-		name, labels := splitKey(key)
-		if strings.Contains(key, ".") || labels["node"] != "" || labels["kind"] != "" {
-			continue // histogram parts and finer-grained families stay off the board
-		}
-		zone, ok := labels["zone"]
-		if !ok {
-			zone = "all"
-		}
-		m := rows[zone]
-		if m == nil {
-			m = map[string]float64{}
-			rows[zone] = m
-		}
-		m[name] += v
-	}
-
-	zones := make([]string, 0, len(rows))
-	for z := range rows {
-		if z != "all" {
-			zones = append(zones, z)
-		}
-	}
-	sort.Slice(zones, func(i, j int) bool {
-		a, _ := strconv.Atoi(zones[i])
-		b, _ := strconv.Atoi(zones[j])
-		return a < b
-	})
-	if _, ok := rows["all"]; ok {
-		zones = append(zones, "all")
-	}
-
-	w := new(strings.Builder)
-	tw := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
-	tw("%6s", "zone")
-	for _, c := range columns {
-		tw(" %8s", c.header)
-	}
-	tw(" %7s\n", "supp%")
-	for _, z := range zones {
-		m := rows[z]
-		tw("%6s", z)
-		for _, c := range columns {
-			tw(" %8.0f", m[c.metric])
-		}
-		sent, supp := m["nacks_sent"], m["nacks_suppressed"]
-		if sent+supp > 0 {
-			tw(" %6.1f%%", 100*supp/(sent+supp))
-		} else {
-			tw(" %7s", "-")
-		}
-		tw("\n")
-	}
-	if len(zones) == 0 {
-		tw("(no metrics yet)\n")
-	}
-	return w.String()
-}
-
-// splitKey parses `name{k="v",...}` into the bare name and its labels.
-func splitKey(key string) (string, map[string]string) {
-	i := strings.IndexByte(key, '{')
-	if i < 0 {
-		return key, nil
-	}
-	name := key[:i]
-	labels := map[string]string{}
-	body := strings.TrimSuffix(key[i+1:], "}")
-	for _, part := range strings.Split(body, ",") {
-		k, v, ok := strings.Cut(part, "=")
-		if !ok {
-			continue
-		}
-		labels[k] = strings.Trim(v, `"`)
-	}
-	return name, labels
 }

@@ -13,6 +13,7 @@ import (
 	"sharqfec/internal/simrand"
 	"sharqfec/internal/srm"
 	"sharqfec/internal/stats"
+	"sharqfec/internal/telemetry/census"
 	"sharqfec/internal/topology"
 )
 
@@ -126,6 +127,9 @@ func RunData(cfg DataConfig) (*DataResult, error) {
 	if err := cfg.Telemetry.validate(); err != nil {
 		return nil, err
 	}
+	if err := cfg.RateControl.validate(); err != nil {
+		return nil, err
+	}
 	if cfg.Protocol == SRM {
 		return runSRM(cfg)
 	}
@@ -161,6 +165,10 @@ func runSHARQFEC(cfg DataConfig, opts core.Options) (*DataResult, error) {
 	}
 	tel := startTelemetry(cfg.Telemetry, &q, h, spec.Graph.NumNodes(), cfg.Until)
 	net.SetTelemetry(tel.busOf())
+	if c := tel.censusOf(); c != nil {
+		c.BindLinks(spec.Graph)
+		net.SetHopTap(c.ObserveHop)
+	}
 
 	pcfg := core.DefaultConfig()
 	pcfg.Source = spec.Source
@@ -181,6 +189,24 @@ func runSHARQFEC(cfg DataConfig, opts core.Options) (*DataResult, error) {
 	verified := true
 	completions := 0
 	var sourceAgent *core.Agent
+	// probe registers an agent's state census with the engine; a restart
+	// replaces the crashed agent's probe (stopped agents report zero).
+	probe := func(ag *core.Agent) {
+		c := tel.censusOf()
+		if c == nil {
+			return
+		}
+		c.SetProbe(ag.Node(), func() census.State {
+			s := ag.StateCensus()
+			return census.State{
+				Groups:         int64(s.ActiveGroups),
+				Timers:         int64(s.PendingTimers),
+				RepairQueue:    int64(s.RepairQueue),
+				ResidentBytes:  int64(s.ResidentBytes),
+				SessionEntries: int64(s.SessionEntries),
+			}
+		})
+	}
 	wire := func(ag *core.Agent) {
 		ag.OnComplete = func(_ eventq.Time, gid uint32, data [][]byte) {
 			completions++
@@ -202,6 +228,7 @@ func runSHARQFEC(cfg DataConfig, opts core.Options) (*DataResult, error) {
 		}
 		agents[m] = ag
 		allAgents = append(allAgents, ag)
+		probe(ag)
 		if m == spec.Source {
 			sourceAgent = ag
 			continue
@@ -228,6 +255,7 @@ func runSHARQFEC(cfg DataConfig, opts core.Options) (*DataResult, error) {
 			}
 			agents[node] = ag
 			allAgents = append(allAgents, ag)
+			probe(ag)
 			wire(ag)
 			ag.JoinLate()
 		}
@@ -303,6 +331,12 @@ func runSRM(cfg DataConfig) (*DataResult, error) {
 	}
 	tel := startTelemetry(cfg.Telemetry, &q, h, spec.Graph.NumNodes(), cfg.Until)
 	net.SetTelemetry(tel.busOf())
+	if c := tel.censusOf(); c != nil {
+		// SRM agents expose no state probe; the traffic matrices and
+		// scheduler gauges still apply.
+		c.BindLinks(spec.Graph)
+		net.SetHopTap(c.ObserveHop)
+	}
 
 	pcfg := srm.DefaultConfig()
 	pcfg.Source = spec.Source

@@ -46,6 +46,55 @@ func TestTelemetryRejectsNonFiniteMetricsInterval(t *testing.T) {
 	}
 }
 
+// TestTelemetryRejectsInvalidSLOSpec covers the programmatic path
+// around ParseSLOSpec: a spec assembled in code with a non-finite
+// objective must be rejected up front, not silently judge nothing.
+func TestTelemetryRejectsInvalidSLOSpec(t *testing.T) {
+	for name, spec := range map[string]*health.Spec{
+		"empty":      {},
+		"NaN value":  {Objectives: []health.Objective{{Metric: 0, Quantile: 0.95, Value: math.NaN(), Window: 10}}},
+		"Inf window": {Objectives: []health.Objective{{Metric: 0, Quantile: 0.95, Value: 0.5, Window: math.Inf(1)}}},
+	} {
+		cfg := DataConfig{Protocol: SHARQFEC, NumPackets: 16,
+			Telemetry: &TelemetryConfig{SLO: &SLOSpec{spec: spec}}}
+		if _, err := RunData(cfg); err == nil {
+			t.Errorf("RunData accepted SLO spec %q", name)
+		}
+	}
+}
+
+// TestRateControlRejectsNonFinite: budget() treats Budget <= 0 as "use
+// the default" and NaN fails that comparison too, so without explicit
+// validation a NaN budget would reach the controller as a live bound.
+func TestRateControlRejectsNonFinite(t *testing.T) {
+	bad := []*RateControlConfig{
+		{Mode: RateControlAdaptive, Budget: math.NaN()},
+		{Mode: RateControlAdaptive, Budget: math.Inf(1)},
+		{Mode: RateControlAdaptive, Budget: -0.5},
+		{Mode: RateControlAdaptive, Budget: 1.5},
+		{Mode: RateControlAdaptive, ArqPenalty: math.NaN()},
+		{Mode: RateControlAdaptive, ArqPenalty: math.Inf(-1)},
+		{Mode: "turbo"},
+	}
+	for _, rc := range bad {
+		cfg := DataConfig{Protocol: SHARQFEC, NumPackets: 16, RateControl: rc}
+		if _, err := RunData(cfg); err == nil {
+			t.Errorf("RunData accepted rate-control config %+v", *rc)
+		}
+	}
+	if _, err := RunControllerComparison(ControllerComparisonConfig{
+		Base:   DataConfig{Protocol: SHARQFEC, NumPackets: 16},
+		Budget: math.NaN(),
+	}); err == nil {
+		t.Error("RunControllerComparison accepted NaN budget")
+	}
+	ok := DataConfig{Protocol: SHARQFEC, NumPackets: 16,
+		RateControl: &RateControlConfig{Mode: RateControlAdaptive, Budget: 0.5, ArqPenalty: 12}}
+	if _, err := RunData(ok); err != nil {
+		t.Errorf("valid rate-control config rejected: %v", err)
+	}
+}
+
 // TestHealthReplayReproducesVerdicts is the offline-replay gate from the
 // other side: a live run under an SLO writes its JSONL trace; replaying
 // that trace through a fresh engine must reproduce the exact alert

@@ -1,0 +1,63 @@
+package core
+
+// StateCensus is a point-in-time accounting of the protocol state an
+// agent holds resident, read by the telemetry census on virtual-clock
+// epochs. Collecting it only inspects state — it never arms timers,
+// consumes randomness or mutates groups.
+type StateCensus struct {
+	// ActiveGroups counts FEC groups still tracked: incomplete, or
+	// complete but retaining share/data buffers for repair duty.
+	ActiveGroups int
+	// PendingTimers counts armed per-group request/reply/LDP timers
+	// plus the session layer's election timers.
+	PendingTimers int
+	// RepairQueue is the speculative repair backlog: shares owed to
+	// zone peers across every scope, summed over groups.
+	RepairQueue int
+	// ResidentBytes estimates the payload bytes held in share buffers,
+	// decoded group data and (for the source) the transmit store.
+	ResidentBytes int
+	// SessionEntries is the session manager's RTT-entry count — the
+	// "RTTs maintained per receiver" state quantity of Figure 8.
+	SessionEntries int
+}
+
+// StateCensus reads the agent's current census. A stopped (crashed)
+// agent reports zero state: its successor probe owns the node.
+func (a *Agent) StateCensus() StateCensus {
+	var s StateCensus
+	if a.stopped {
+		return s
+	}
+	for _, g := range a.groups {
+		resident := 0
+		for _, p := range g.shares {
+			resident += len(p)
+		}
+		for _, p := range g.data {
+			resident += len(p)
+		}
+		if !g.complete || resident > 0 {
+			s.ActiveGroups++
+		}
+		if g.reqTimer != nil && g.reqTimer.Active() {
+			s.PendingTimers++
+		}
+		if g.replyTimer != nil && g.replyTimer.Active() {
+			s.PendingTimers++
+		}
+		if g.ldpTimer != nil && g.ldpTimer.Active() {
+			s.PendingTimers++
+		}
+		s.RepairQueue += a.totalPending(g)
+		s.ResidentBytes += resident
+	}
+	for _, d := range a.sendData {
+		for _, p := range d {
+			s.ResidentBytes += len(p)
+		}
+	}
+	s.PendingTimers += a.sess.CensusTimers()
+	s.SessionEntries = a.sess.StateSize()
+	return s
+}

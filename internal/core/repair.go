@@ -119,15 +119,17 @@ func (a *Agent) serveQueuedRepairs(now eventq.Time, g *group) {
 			}
 		}
 		g.pending[z] = 0
-		a.sendRepairBurst(now, g, z, n)
+		a.sendRepairBurst(now, g, z, n, false)
 		return // pace one zone at a time; the burst end re-checks
 	}
 }
 
 // sendRepairBurst transmits n fresh repair shares to zone z, spaced by
 // RepairSpacing × the inter-packet interval (§4 RP sender rule), then
-// re-checks the queues.
-func (a *Agent) sendRepairBurst(now eventq.Time, g *group, z scoping.ZoneID, n int) {
+// re-checks the queues. preempt marks the shares as preemptive-FEC for
+// the cost census (see packet.Repair.Preemptive); it does not change
+// what is sent.
+func (a *Agent) sendRepairBurst(now eventq.Time, g *group, z scoping.ZoneID, n int, preempt bool) {
 	first, last := g.maxShare+1, g.maxShare+n
 	if last >= a.codecMaxShare() {
 		last = a.codecMaxShare() - 1
@@ -142,7 +144,7 @@ func (a *Agent) sendRepairBurst(now eventq.Time, g *group, z scoping.ZoneID, n i
 		idx := idx
 		offset := eventq.Duration(float64(idx-first) * spacing)
 		a.net.Sched().After(offset, func(fire eventq.Time) {
-			a.transmitRepair(fire, g, z, idx, last)
+			a.transmitRepair(fire, g, z, idx, last, preempt)
 		})
 	}
 	a.net.Sched().After(eventq.Duration(float64(last-first+1)*spacing), func(fire eventq.Time) {
@@ -152,7 +154,7 @@ func (a *Agent) sendRepairBurst(now eventq.Time, g *group, z scoping.ZoneID, n i
 }
 
 // transmitRepair encodes and multicasts one repair share.
-func (a *Agent) transmitRepair(now eventq.Time, g *group, z scoping.ZoneID, idx, burstMax int) {
+func (a *Agent) transmitRepair(now eventq.Time, g *group, z scoping.ZoneID, idx, burstMax int, preempt bool) {
 	if a.stopped {
 		return
 	}
@@ -165,13 +167,14 @@ func (a *Agent) transmitRepair(now eventq.Time, g *group, z scoping.ZoneID, idx,
 		return
 	}
 	rep := &packet.Repair{
-		Origin:    a.node,
-		Group:     g.id,
-		Index:     uint8(share.Index),
-		GroupK:    uint8(g.k),
-		NewMaxSeq: uint32(burstMax),
-		Zone:      int16(z),
-		Payload:   share.Data,
+		Origin:     a.node,
+		Group:      g.id,
+		Index:      uint8(share.Index),
+		GroupK:     uint8(g.k),
+		NewMaxSeq:  uint32(burstMax),
+		Zone:       int16(z),
+		Payload:    share.Data,
+		Preemptive: preempt,
 	}
 	a.net.Multicast(a.node, z, rep)
 	a.Stats.RepairsSent++
@@ -184,7 +187,7 @@ func (a *Agent) transmitRepair(now eventq.Time, g *group, z scoping.ZoneID, idx,
 // injection.
 func (a *Agent) injectRepairs(now eventq.Time, g *group, z scoping.ZoneID, h int) {
 	a.emit(now, telemetry.KindRepairInjected, z, int64(g.id), int64(h), int64(g.repairsHeard), a.ctrl.Predict(z))
-	a.sendRepairBurst(now, g, z, h)
+	a.sendRepairBurst(now, g, z, h, true)
 }
 
 // groupData returns the original payloads for a completed group (the

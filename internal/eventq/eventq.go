@@ -119,6 +119,11 @@ func (q *Queue) Len() int { return len(q.h) }
 // Dispatched returns the number of events executed so far.
 func (q *Queue) Dispatched() uint64 { return q.dispatchN }
 
+// FreeLen returns the number of event records parked on the free list,
+// i.e. pooled capacity not currently scheduled. Together with Len it
+// bounds the queue's resident event footprint for observability.
+func (q *Queue) FreeLen() int { return len(q.free) }
+
 // At schedules fn to run at absolute time at. Scheduling in the past
 // (before Now) is clamped to Now: the event runs next, preserving order.
 func (q *Queue) At(at Time, fn Handler) Timer {

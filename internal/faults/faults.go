@@ -19,6 +19,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 
@@ -201,8 +202,11 @@ func (p *Plan) GilbertEqualMean(at float64, burstLen float64) *Plan {
 // Validate checks every event against the network it will run on.
 func (p *Plan) Validate(g *topology.Graph, h *scoping.Hierarchy) error {
 	for i, e := range p.Events {
-		if e.At < 0 {
-			return fmt.Errorf("faults: event %d (%s): negative time", i, e)
+		// Comparisons are written so NaN fails them: NaN < 0 is false,
+		// so a bare "e.At < 0" would wave a NaN timestamp through and
+		// wedge the event-queue schedule.
+		if !(e.At >= 0) || math.IsInf(e.At, 0) {
+			return fmt.Errorf("faults: event %d (%s): time must be finite and non-negative", i, e)
 		}
 		switch e.Kind {
 		case LinkDown, LinkUp:
@@ -226,13 +230,13 @@ func (p *Plan) Validate(g *topology.Graph, h *scoping.Hierarchy) error {
 			}
 			fallthrough
 		case GilbertAll:
-			if e.MeanLoss < 0 || e.MeanLoss >= 1 {
+			if !(e.MeanLoss >= 0 && e.MeanLoss < 1) {
 				return fmt.Errorf("faults: event %d (%s): mean loss %g outside [0,1)", i, e, e.MeanLoss)
 			}
 			fallthrough
 		case GilbertEqualMean:
-			if e.BurstLen < 1 {
-				return fmt.Errorf("faults: event %d (%s): burst length %g < 1", i, e, e.BurstLen)
+			if !(e.BurstLen >= 1) || math.IsInf(e.BurstLen, 0) {
+				return fmt.Errorf("faults: event %d (%s): burst length %g must be finite and >= 1", i, e, e.BurstLen)
 			}
 		default:
 			return fmt.Errorf("faults: event %d: unknown kind %d", i, int(e.Kind))
@@ -287,8 +291,8 @@ func ParsePlan(r io.Reader) (*Plan, error) {
 func parseEvent(fields []string) (Event, error) {
 	var ev Event
 	at, err := strconv.ParseFloat(fields[0], 64)
-	if err != nil {
-		return ev, fmt.Errorf("bad time %q: %w", fields[0], err)
+	if err != nil || math.IsNaN(at) || math.IsInf(at, 0) {
+		return ev, fmt.Errorf("bad time %q (want a finite number)", fields[0])
 	}
 	ev.At = at
 	args := fields[2:]
@@ -307,8 +311,8 @@ func parseEvent(fields []string) (Event, error) {
 	}
 	argFloat := func(i int) (float64, error) {
 		v, err := strconv.ParseFloat(args[i], 64)
-		if err != nil {
-			return 0, fmt.Errorf("bad number %q: %w", args[i], err)
+		if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0, fmt.Errorf("bad number %q (want a finite number)", args[i])
 		}
 		return v, nil
 	}

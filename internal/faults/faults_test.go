@@ -108,6 +108,11 @@ func TestParsePlanErrors(t *testing.T) {
 		{"1.0 link-down a", "bad integer"},
 		{"1.0 gilbert-link 3 0.08", "3 argument"},
 		{"1.0 crash 1 2", "1 argument"},
+		{"NaN link-down 3", "bad time"},
+		{"+Inf link-down 3", "bad time"},
+		{"1.0 gilbert-all NaN 6", "bad number"},
+		{"1.0 gilbert-all 0.08 Inf", "bad number"},
+		{"1.0 gilbert-equal-mean -Inf", "bad number"},
 	}
 	for _, c := range cases {
 		if _, err := ParsePlan(strings.NewReader(c.text)); err == nil || !strings.Contains(err.Error(), c.wantSub) {
@@ -129,6 +134,14 @@ func TestValidate(t *testing.T) {
 		(&Plan{}).GilbertLink(1, 0, 1.0, 6),
 		(&Plan{}).GilbertAll(1, 0.1, 0.5),
 		(&Plan{}).GilbertEqualMean(1, 0),
+		// Non-finite floats must not slip through the range checks:
+		// NaN fails every ordinary comparison, so "x < 0" style guards
+		// would wave it through.
+		(&Plan{}).LinkDown(math.NaN(), 0),
+		(&Plan{}).Crash(math.Inf(1), 1),
+		(&Plan{}).GilbertAll(1, math.NaN(), 6),
+		(&Plan{}).GilbertAll(1, 0.1, math.Inf(1)),
+		(&Plan{}).GilbertEqualMean(1, math.NaN()),
 	}
 	for i, p := range bad {
 		if err := p.Validate(g, h); err == nil {

@@ -72,6 +72,11 @@ type Network struct {
 	// tel, when non-nil, receives a transport event per transmission,
 	// delivery and drop. nil (the default) keeps every path untouched.
 	tel *telemetry.Bus
+	// hopTap, when non-nil, observes every per-link transmission during
+	// multicast fan-out (after queueing, before the loss draw): packets
+	// lost in flight occupied the wire and are reported; tail-dropped
+	// packets never transmitted and are not. nil keeps the path free.
+	hopTap HopTap
 
 	// lossModels[link][dir], when non-nil, overrides the Bernoulli draw
 	// for that link direction. nil until the first SetLossModel, so the
@@ -165,6 +170,15 @@ func (n *Network) AddSendTap(t SendTap) { n.sendTaps = append(n.sendTaps, t) }
 // SetTelemetry attaches (or, with nil, detaches) a telemetry bus that
 // receives packet_sent / packet_delivered / drop events.
 func (n *Network) SetTelemetry(b *telemetry.Bus) { n.tel = b }
+
+// HopTap observes one per-link transmission: link index li, direction
+// dir (0 = A→B, 1 = B→A) and the packet on the wire. Taps must be
+// passive — they run inline on the forwarding path.
+type HopTap func(li, dir int, pkt packet.Packet)
+
+// SetHopTap attaches (or, with nil, detaches) a per-link transmission
+// observer — the census engine's view of where bytes actually flow.
+func (n *Network) SetHopTap(t HopTap) { n.hopTap = t }
 
 // Stats returns (multicasts sent, packets delivered to members, packets
 // dropped by link loss).
@@ -379,6 +393,9 @@ func (n *Network) forward(t eventq.Time, tree *topology.Tree, children [][]topol
 	txDone := start.Add(txTime)
 	n.linkFree[li][dir] = txDone
 	arrive := txDone.Add(link.Latency)
+	if n.hopTap != nil {
+		n.hopTap(li, dir, pkt)
+	}
 
 	if pkt.Lossy() {
 		if m := n.lossModel(li, dir); m != nil {

@@ -120,6 +120,13 @@ type Repair struct {
 	NewMaxSeq uint32 // highest share identifier after this sender's burst
 	Zone      int16  // scope zone the repair is addressed to
 	Payload   []byte
+
+	// Preemptive marks shares injected ahead of demand by the
+	// preemptive-FEC path, as opposed to NACK-triggered repairs. It is
+	// simulator-side accounting metadata only: receivers do not act on
+	// it, and it is deliberately not serialized (WireSize and
+	// MarshalBinary are unchanged), so it is lost over a real transport.
+	Preemptive bool
 }
 
 const repairHeader = 1 + 4 + 4 + 1 + 1 + 4 + 2 + 2

@@ -1,0 +1,114 @@
+package session
+
+import (
+	"testing"
+
+	"sharqfec/internal/eventq"
+	"sharqfec/internal/scoping"
+	"sharqfec/internal/topology"
+)
+
+// TestAggregatedReportEmptyRun: a session where nobody ever publishes a
+// loss report must aggregate to zero everywhere — no phantom members, no
+// reporters heard — because summaries with RRMembers == 0 are never
+// recorded.
+func TestAggregatedReportEmptyRun(t *testing.T) {
+	spec := twoLevelChain()
+	h := newHarness(t, spec, 50)
+	h.startAll(20)
+	for _, n := range spec.Members() {
+		for z := scoping.ZoneID(0); z < 2; z++ {
+			worst, members := h.mgrs[n].AggregatedReport(z)
+			if worst != 0 || members != 0 {
+				t.Fatalf("node %d zone %d: empty run aggregated (%v, %d), want (0, 0)", n, z, worst, members)
+			}
+			if heard := h.mgrs[n].ReportersHeard(z); heard != 0 {
+				t.Fatalf("node %d zone %d: heard %d reporters with no reports published", n, z, heard)
+			}
+		}
+	}
+}
+
+// TestAggregatedReportSingleZone: with only the root zone there is no
+// hierarchy to fold through — every receiver's summary arrives at the
+// source directly, so the announcement load equals the receiver count
+// (the exact O(receivers) behavior scoping exists to avoid) while the
+// aggregate still covers everyone and tracks the worst report.
+func TestAggregatedReportSingleZone(t *testing.T) {
+	spec := topology.Chain(5, 10e6, 0.010, 0)
+	h := newHarness(t, spec, 51)
+	h.net.Q.At(1, func(eventq.Time) {
+		for _, member := range spec.Members() {
+			h.mgrs[member].Start(member == spec.Source)
+		}
+	})
+	h.net.Q.At(2, func(eventq.Time) {
+		for _, r := range spec.Receivers {
+			h.mgrs[r].SetLocalLossReport(float64(r) / 100)
+		}
+	})
+	h.net.Q.RunUntil(20)
+
+	worst, members := h.mgrs[spec.Source].AggregatedReport(0)
+	if worst != 0.04 {
+		t.Fatalf("flat session worst = %v, want node 4's 0.04", worst)
+	}
+	if int(members) != len(spec.Receivers) {
+		t.Fatalf("flat session covers %d members, want %d", members, len(spec.Receivers))
+	}
+	if heard := h.mgrs[spec.Source].ReportersHeard(0); heard != len(spec.Receivers) {
+		t.Fatalf("flat session: source heard %d reporters, want every one of %d", heard, len(spec.Receivers))
+	}
+}
+
+// TestAggregatedReportAllLossesUnrecovered: when every receiver reports
+// total loss the aggregate must saturate at exactly 1.0 — the clamp in
+// SetLocalLossReport and the max-fold in reportFor may not push it
+// beyond — while still counting every member.
+func TestAggregatedReportAllLossesUnrecovered(t *testing.T) {
+	spec := twoLevelChain()
+	h := newHarness(t, spec, 52)
+	h.net.Q.At(1, func(eventq.Time) {
+		for _, member := range spec.Members() {
+			h.mgrs[member].Start(member == spec.Source)
+		}
+	})
+	h.net.Q.At(2, func(eventq.Time) {
+		for _, r := range spec.Receivers {
+			h.mgrs[r].SetLocalLossReport(2.0) // clamps to 1.0
+		}
+	})
+	h.net.Q.RunUntil(20)
+
+	worst, members := h.mgrs[spec.Source].AggregatedReport(0)
+	if worst != 1.0 {
+		t.Fatalf("all-lost session worst = %v, want exactly 1.0", worst)
+	}
+	if int(members) != len(spec.Receivers) {
+		t.Fatalf("all-lost session covers %d members, want %d", members, len(spec.Receivers))
+	}
+	// The child-zone view from inside the zone agrees: node 1 heads zone
+	// 1 and folds its subtree without double-counting itself.
+	worst, members = h.mgrs[1].AggregatedReport(1)
+	if worst != 1.0 || int(members) != 3 {
+		t.Fatalf("zone-1 ZCR aggregate = (%v, %d), want (1.0, 3)", worst, members)
+	}
+}
+
+// TestReportForSelfOnly: a member that heads no zones contributes
+// exactly its own report at any scope — no subtree folding.
+func TestReportForSelfOnly(t *testing.T) {
+	spec := twoLevelChain()
+	h := newHarness(t, spec, 53)
+	h.startAll(10)
+	m := h.mgrs[3] // leaf, never a ZCR on this chain
+	loss, members := m.reportFor(0)
+	if loss != 0 || members != 0 {
+		t.Fatalf("unset report published (%v, %d), want (0, 0)", loss, members)
+	}
+	m.SetLocalLossReport(0.25)
+	loss, members = m.reportFor(0)
+	if loss != 0.25 || members != 1 {
+		t.Fatalf("self-only report = (%v, %d), want (0.25, 1)", loss, members)
+	}
+}

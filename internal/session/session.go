@@ -387,6 +387,29 @@ func (m *Manager) StateSize() int {
 	return n
 }
 
+// CensusTimers returns the number of armed session-layer timers
+// (pending takeovers, periodic challenges, ZCR watchdogs) for the
+// telemetry census. Read-only: it never arms or cancels anything.
+func (m *Manager) CensusTimers() int {
+	n := 0
+	for _, t := range m.pendingTakeover {
+		if t != nil && t.Active() {
+			n++
+		}
+	}
+	for _, t := range m.challengeTimer {
+		if t != nil && t.Active() {
+			n++
+		}
+	}
+	for _, t := range m.watchdog {
+		if t != nil && t.Active() {
+			n++
+		}
+	}
+	return n
+}
+
 // DirectRTT returns the direct RTT estimate to peer, if one exists.
 func (m *Manager) DirectRTT(peer topology.NodeID) (float64, bool) {
 	if pi := m.direct[peer]; pi != nil && pi.have {

@@ -1,0 +1,250 @@
+package census
+
+import (
+	"sync"
+	"testing"
+
+	"sharqfec/internal/eventq"
+	"sharqfec/internal/packet"
+	"sharqfec/internal/scoping"
+	"sharqfec/internal/telemetry"
+	"sharqfec/internal/topology"
+)
+
+// twoLevelChain is a 0—1—2—3 chain with {1,2,3} in a child zone: link
+// 0 crosses the child-zone boundary, links 1 and 2 are internal to it,
+// and nothing ever crosses the root (it contains every node).
+func twoLevelChain() *topology.Spec {
+	spec := topology.Chain(4, 10e6, 0.010, 0)
+	spec.Zones = []topology.ZoneSpec{
+		{ID: 0, Parent: -1, Leaves: []topology.NodeID{0}},
+		{ID: 1, Parent: 0, Leaves: []topology.NodeID{1, 2, 3}},
+	}
+	return spec
+}
+
+func newTestEngine(t *testing.T) (*Engine, *topology.Spec) {
+	t.Helper()
+	spec := twoLevelChain()
+	h, err := scoping.Build(spec.Zones)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(telemetry.NewRegistry(), h, spec.Graph.NumNodes())
+	e.BindLinks(spec.Graph)
+	return e, spec
+}
+
+func TestClassOf(t *testing.T) {
+	cases := []struct {
+		pkt  packet.Packet
+		want Class
+	}{
+		{&packet.Data{}, ClassData},
+		{&packet.NACK{}, ClassNACK},
+		{&packet.Repair{}, ClassRepair},
+		{&packet.Repair{Preemptive: true}, ClassFEC},
+		{&packet.Session{}, ClassControl},
+		{&packet.ZCRChallenge{}, ClassControl},
+	}
+	for _, c := range cases {
+		if got := ClassOf(c.pkt); got != c.want {
+			t.Errorf("ClassOf(%T) = %v, want %v", c.pkt, got, c.want)
+		}
+	}
+	// Bus events carry only the wire type, where preemptive FEC is
+	// indistinguishable from reactive repair.
+	if got := classOfType(packet.TypeRepair); got != ClassRepair {
+		t.Errorf("classOfType(repair) = %v", got)
+	}
+	if got := classOfType(packet.TypeSession); got != ClassControl {
+		t.Errorf("classOfType(session) = %v", got)
+	}
+}
+
+func TestObserveHopBoundaryAttribution(t *testing.T) {
+	e, _ := newTestEngine(t)
+	d := &packet.Data{Payload: make([]byte, 100)}
+
+	e.ObserveHop(0, 0, d) // 0→1 crosses the child-zone boundary
+	e.ObserveHop(1, 0, d) // 1→2 is internal to the child zone
+	e.ObserveHop(1, 1, d) // reverse direction counts too
+
+	if got := e.LinkPkts(ClassData); got != 3 {
+		t.Fatalf("LinkPkts(data) = %d, want 3", got)
+	}
+	if pkts, bytes := e.ZoneBoundary(1); pkts != 1 || bytes != int64(d.WireSize()) {
+		t.Fatalf("child-zone boundary = (%d pkts, %d bytes), want (1, %d)", pkts, bytes, d.WireSize())
+	}
+	if pkts, _ := e.ZoneBoundary(0); pkts != 0 {
+		t.Fatalf("root boundary crossed %d times; the root contains every node", pkts)
+	}
+	if got := e.BoundaryPktsAtLevel(1, ClassData); got != 1 {
+		t.Fatalf("BoundaryPktsAtLevel(1, data) = %d, want 1", got)
+	}
+
+	// Out-of-range hops are dropped, not counted or panicked on.
+	e.ObserveHop(-1, 0, d)
+	e.ObserveHop(99, 0, d)
+	e.ObserveHop(0, 2, d)
+	if got := e.LinkPkts(ClassData); got != 3 {
+		t.Fatalf("out-of-range hops changed the matrix: %d", got)
+	}
+}
+
+func TestSinkClassifiesBusEvents(t *testing.T) {
+	e, _ := newTestEngine(t)
+	sink := e.Sink()
+	sink(telemetry.Event{Kind: telemetry.KindPacketSent, Zone: 1,
+		A: int64(packet.TypeData), B: 512})
+	sink(telemetry.Event{Kind: telemetry.KindPacketSent, Zone: 1,
+		A: int64(packet.TypeSession), B: 64})
+	sink(telemetry.Event{Kind: telemetry.KindPacketDelivered, Zone: 1,
+		A: int64(packet.TypeRepair)})
+	sink(telemetry.Event{Kind: telemetry.KindRepairInjected, Zone: 1, A: 5})
+	// Events outside the zone table are ignored.
+	sink(telemetry.Event{Kind: telemetry.KindPacketSent, Zone: scoping.NoZone,
+		A: int64(packet.TypeData), B: 1})
+	sink(telemetry.Event{Kind: telemetry.KindPacketSent, Zone: 99,
+		A: int64(packet.TypeData), B: 1})
+
+	s := e.Summarize()
+	if s.FECShares != 5 {
+		t.Fatalf("FECShares = %d, want 5", s.FECShares)
+	}
+	if got := e.DeliveredPkts(ClassRepair); got != 1 {
+		t.Fatalf("DeliveredPkts(repair) = %d, want 1", got)
+	}
+	if got := e.zones[1].scopedPkts[ClassData].Value(); got != 1 {
+		t.Fatalf("scoped data pkts = %d, want 1", got)
+	}
+	if got := e.zones[1].scopedBytes[ClassControl].Value(); got != 64 {
+		t.Fatalf("scoped ctrl bytes = %d, want 64", got)
+	}
+}
+
+func TestSnapshotAggregatesProbesByZone(t *testing.T) {
+	e, _ := newTestEngine(t)
+	// Node 0 lives only in the root; node 2 in root and child zone.
+	e.SetProbe(0, func() State {
+		return State{Groups: 1, Timers: 2, SessionEntries: 3}
+	})
+	e.SetProbe(2, func() State {
+		return State{Groups: 10, Timers: 20, RepairQueue: 1, ResidentBytes: 4096, SessionEntries: 30}
+	})
+	e.Snapshot(1)
+
+	groups, timers, repairQ, resident, rtt := e.ZoneCensus(0)
+	if groups != 11 || timers != 22 || repairQ != 1 || resident != 4096 || rtt != 33 {
+		t.Fatalf("root census = (%d,%d,%d,%d,%d), want (11,22,1,4096,33)", groups, timers, repairQ, resident, rtt)
+	}
+	groups, timers, _, _, rtt = e.ZoneCensus(1)
+	if groups != 10 || timers != 20 || rtt != 30 {
+		t.Fatalf("child census = (%d,%d,rtt %d), want (10,20,30)", groups, timers, rtt)
+	}
+	if got := e.PeakSessionEntries(); got != 30 {
+		t.Fatalf("PeakSessionEntries = %d, want 30", got)
+	}
+
+	// Probes can be replaced (crash/restart) and removed.
+	e.SetProbe(2, nil)
+	e.Snapshot(2)
+	if groups, _, _, _, _ := e.ZoneCensus(1); groups != 0 {
+		t.Fatalf("removed probe still contributes: groups = %d", groups)
+	}
+	// Peak is a high-water mark: it survives the probe's removal.
+	if got := e.PeakSessionEntries(); got != 30 {
+		t.Fatalf("peak dropped to %d after probe removal", got)
+	}
+	if n := len(e.Epochs()); n != 2 {
+		t.Fatalf("epoch history has %d rows, want 2", n)
+	}
+}
+
+func TestSnapshotQueueGauges(t *testing.T) {
+	e, _ := newTestEngine(t)
+	var q eventq.Queue
+	e.BindQueue(&q)
+	for i := 0; i < 10; i++ {
+		q.At(eventq.Time(i), func(eventq.Time) {})
+	}
+	q.RunUntil(5) // dispatches events scheduled before t=5
+	e.Snapshot(5)
+	q.RunUntil(20)
+	e.Snapshot(10)
+
+	rows := e.Epochs()
+	if len(rows) != 2 {
+		t.Fatalf("epochs = %d, want 2", len(rows))
+	}
+	last := rows[1].Queue
+	if last.Dispatched != 10 {
+		t.Fatalf("dispatched = %d, want 10", last.Dispatched)
+	}
+	if last.FireRate <= 0 {
+		t.Fatalf("fire rate %v not computed on second epoch", last.FireRate)
+	}
+	if last.Depth != 0 {
+		t.Fatalf("depth = %d after draining", last.Depth)
+	}
+	s := e.Summarize()
+	if s.Epochs != 2 || s.Queue != last {
+		t.Fatalf("summary queue snapshot %+v != last epoch %+v", s.Queue, last)
+	}
+}
+
+// TestConcurrentIngest exercises the lock-free ingest paths against
+// concurrent snapshots and probe swaps — the live-node shape, where
+// the census ticker runs on its own goroutine. Run under -race in CI.
+func TestConcurrentIngest(t *testing.T) {
+	e, spec := newTestEngine(t)
+	d := &packet.Data{Payload: make([]byte, 64)}
+	sink := e.Sink()
+	nLinks := spec.Graph.NumLinks()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				e.ObserveHop(i%nLinks, i&1, d)
+				sink(telemetry.Event{Kind: telemetry.KindPacketSent, Zone: 1,
+					A: int64(packet.TypeData), B: 64})
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			e.SetProbe(2, func() State { return State{SessionEntries: int64(i)} })
+			e.Snapshot(float64(i))
+			e.Summarize()
+		}
+	}()
+	wg.Wait()
+
+	if got := e.LinkPkts(ClassData); got != 4*2000 {
+		t.Fatalf("LinkPkts(data) = %d, want %d", got, 4*2000)
+	}
+	if got := e.zones[1].scopedPkts[ClassData].Value(); got != 4*2000 {
+		t.Fatalf("scoped data pkts = %d, want %d", got, 4*2000)
+	}
+}
+
+// TestIngestZeroAlloc pins the hot-path guarantee: ObserveHop and the
+// bus sink allocate nothing in steady state.
+func TestIngestZeroAlloc(t *testing.T) {
+	e, _ := newTestEngine(t)
+	d := &packet.Data{Payload: make([]byte, 64)}
+	sink := e.Sink()
+	ev := telemetry.Event{Kind: telemetry.KindPacketSent, Zone: 1,
+		A: int64(packet.TypeData), B: 64}
+	if avg := testing.AllocsPerRun(200, func() {
+		e.ObserveHop(0, 0, d)
+		sink(ev)
+	}); avg != 0 {
+		t.Fatalf("ingest allocates %v per op, want 0", avg)
+	}
+}

@@ -131,6 +131,58 @@ func TestParseSpecErrors(t *testing.T) {
 	}
 }
 
+// TestSpecValidate exercises the programmatic-construction path: specs
+// built in code bypass ParseSpec, so Validate must apply the same
+// bounds, including the NaN cases ordinary comparisons wave through.
+func TestSpecValidate(t *testing.T) {
+	good := func() *Spec {
+		return &Spec{Objectives: []Objective{{
+			Metric: MetricRecoveryLatency, Quantile: 0.95, Value: 0.5,
+			Window: 10, Fast: 2.5, MinSamples: 1,
+		}}}
+	}
+	if err := good().Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	cases := []struct {
+		name    string
+		mutate  func(*Spec)
+		wantSub string
+	}{
+		{"no objectives", func(s *Spec) { s.Objectives = nil }, "no objectives"},
+		{"NaN interval", func(s *Spec) { s.Interval = math.NaN() }, "interval"},
+		{"Inf interval", func(s *Spec) { s.Interval = math.Inf(1) }, "interval"},
+		{"negative interval", func(s *Spec) { s.Interval = -1 }, "interval"},
+		{"unknown metric", func(s *Spec) { s.Objectives[0].Metric = numMetrics }, "unknown metric"},
+		{"NaN quantile", func(s *Spec) { s.Objectives[0].Quantile = math.NaN() }, "quantile"},
+		{"quantile > 1", func(s *Spec) { s.Objectives[0].Quantile = 1.5 }, "quantile"},
+		{"NaN value", func(s *Spec) { s.Objectives[0].Value = math.NaN() }, "value"},
+		{"Inf value", func(s *Spec) { s.Objectives[0].Value = math.Inf(1) }, "value"},
+		{"negative value", func(s *Spec) { s.Objectives[0].Value = -0.5 }, "value"},
+		{"ratio > 1", func(s *Spec) {
+			s.Objectives[0] = Objective{Metric: MetricSuppressionRatio, Value: 1.5, Window: 10}
+		}, "fraction"},
+		{"NaN window", func(s *Spec) { s.Objectives[0].Window = math.NaN() }, "window"},
+		{"zero window", func(s *Spec) { s.Objectives[0].Window = 0 }, "window"},
+		{"NaN fast", func(s *Spec) { s.Objectives[0].Fast = math.NaN() }, "fast window"},
+		{"fast > window", func(s *Spec) { s.Objectives[0].Fast = 20 }, "fast window"},
+		{"negative min", func(s *Spec) { s.Objectives[0].MinSamples = -1 }, "min samples"},
+	}
+	for _, c := range cases {
+		s := good()
+		c.mutate(s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", c.name, s)
+		} else if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%s: error %q does not contain %q", c.name, err, c.wantSub)
+		}
+	}
+	// Everything ParseSpec emits must pass Validate.
+	if err := testSpec(t).Validate(); err != nil {
+		t.Errorf("parsed spec failed Validate: %v", err)
+	}
+}
+
 // feedScenario drives a synthetic event stream that breaches a 1s-window
 // latency objective between t≈2 and t≈5, then recovers.
 func feedScenario(sink telemetry.Sink) {

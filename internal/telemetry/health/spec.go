@@ -122,6 +122,48 @@ func (s *Spec) String() string {
 	return b.String()
 }
 
+// Validate checks a programmatically constructed spec the way
+// ParseSpec checks the text form: finite bounds everywhere (NaN slips
+// past ordinary comparisons, so each check is written to fail on it),
+// quantiles in (0,1], ratio objectives in [0,1], positive windows with
+// fast ≤ long, and at least one objective. Specs from ParseSpec always
+// pass.
+func (s *Spec) Validate() error {
+	if len(s.Objectives) == 0 {
+		return fmt.Errorf("health: spec declares no objectives")
+	}
+	if s.Interval != 0 && !(isFinite(s.Interval) && s.Interval > 0) {
+		return fmt.Errorf("health: interval %g must be finite and > 0", s.Interval)
+	}
+	for i, o := range s.Objectives {
+		if int(o.Metric) >= int(numMetrics) {
+			return fmt.Errorf("health: objective %d: unknown metric %d", i, int(o.Metric))
+		}
+		if o.Metric.quantile() && !(isFinite(o.Quantile) && o.Quantile > 0 && o.Quantile <= 1) {
+			return fmt.Errorf("health: objective %d (%s): quantile %g outside (0,1]", i, o.Metric, o.Quantile)
+		}
+		if !(isFinite(o.Value) && o.Value >= 0) {
+			return fmt.Errorf("health: objective %d (%s): value %g must be finite and >= 0", i, o.Metric, o.Value)
+		}
+		if !o.Metric.quantile() && o.Value > 1 {
+			return fmt.Errorf("health: objective %d (%s): %s is a fraction, objective %g > 1", i, o.Metric, o.Metric, o.Value)
+		}
+		if !(isFinite(o.Window) && o.Window > 0) {
+			return fmt.Errorf("health: objective %d (%s): window %g must be finite and > 0", i, o.Metric, o.Window)
+		}
+		if o.Fast != 0 && !(isFinite(o.Fast) && o.Fast > 0) {
+			return fmt.Errorf("health: objective %d (%s): fast window %g must be finite and > 0", i, o.Metric, o.Fast)
+		}
+		if o.Fast > o.Window {
+			return fmt.Errorf("health: objective %d (%s): fast window %g exceeds long window %g", i, o.Metric, o.Fast, o.Window)
+		}
+		if o.MinSamples < 0 {
+			return fmt.Errorf("health: objective %d (%s): negative min samples %d", i, o.Metric, o.MinSamples)
+		}
+	}
+	return nil
+}
+
 // interval returns the effective evaluation tick.
 func (s *Spec) interval() float64 {
 	if s.Interval > 0 {

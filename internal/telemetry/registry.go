@@ -387,6 +387,41 @@ var PromHelp = map[string]string{
 	"ctrl_h":             "rate-control decided per-group repair injection",
 	"health_alerts":      "SLO objectives entering violation (health engine)",
 	"health_clears":      "SLO objectives leaving violation (health engine)",
+
+	// Cost-census families (internal/telemetry/census). The *_pkts /
+	// *_bytes counters split into per-class families with a data / nack
+	// / repair / fec / ctrl suffix.
+	"census_scoped_pkts_data":      "scope-addressed data transmissions (census)",
+	"census_scoped_pkts_nack":      "scope-addressed NACK transmissions (census)",
+	"census_scoped_pkts_repair":    "scope-addressed repair transmissions (census)",
+	"census_scoped_pkts_fec":       "scope-addressed preemptive-FEC transmissions (census)",
+	"census_scoped_pkts_ctrl":      "scope-addressed control transmissions (census)",
+	"census_scoped_bytes_data":     "scope-addressed data wire bytes (census)",
+	"census_scoped_bytes_nack":     "scope-addressed NACK wire bytes (census)",
+	"census_scoped_bytes_repair":   "scope-addressed repair wire bytes (census)",
+	"census_scoped_bytes_fec":      "scope-addressed preemptive-FEC wire bytes (census)",
+	"census_scoped_bytes_ctrl":     "scope-addressed control wire bytes (census)",
+	"census_delivered_pkts_data":   "data deliveries by scope zone (census)",
+	"census_delivered_pkts_nack":   "NACK deliveries by scope zone (census)",
+	"census_delivered_pkts_repair": "repair deliveries by scope zone (census)",
+	"census_delivered_pkts_fec":    "preemptive-FEC deliveries by scope zone (census)",
+	"census_delivered_pkts_ctrl":   "control deliveries by scope zone (census)",
+	"census_boundary_pkts_data":    "data packets crossing the zone boundary (census)",
+	"census_boundary_pkts_nack":    "NACKs crossing the zone boundary (census)",
+	"census_boundary_pkts_repair":  "repairs crossing the zone boundary (census)",
+	"census_boundary_pkts_fec":     "preemptive FEC crossing the zone boundary (census)",
+	"census_boundary_pkts_ctrl":    "control packets crossing the zone boundary (census)",
+	"census_boundary_bytes":        "wire bytes crossing the zone boundary (census)",
+	"census_fec_shares":            "preemptively injected shares, from repair_injected events (census)",
+	"census_groups":                "FEC groups resident in the zone at the last epoch (census)",
+	"census_timers":                "armed protocol timers in the zone at the last epoch (census)",
+	"census_repair_queue":          "speculative repair backlog in the zone at the last epoch (census)",
+	"census_resident_bytes":        "estimated resident protocol-state bytes in the zone (census)",
+	"census_rtt_entries":           "session RTT entries maintained in the zone (census)",
+	"census_eventq_depth":          "event-queue pending events at the last epoch (census)",
+	"census_eventq_free":           "event-queue free-list occupancy at the last epoch (census)",
+	"census_eventq_fire_rate":      "events dispatched per virtual second since the previous epoch (census)",
+	"census_eventq_dispatched":     "events dispatched since the start of the run (census)",
 }
 
 // Snapshot returns every counter and gauge as an expvar-style flat map:

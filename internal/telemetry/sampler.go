@@ -48,6 +48,31 @@ type ZoneSample struct {
 	// Aggregate-row-only fields (zero on per-zone rows).
 	FaultDrops      int64   `json:"fault_drops"`
 	LocalRepairFrac float64 `json:"local_repair_frac"`
+
+	// Cost-census columns, filled when the run armed the census engine
+	// (zero otherwise): the protocol state resident inside the zone at
+	// this snapshot, and cumulative traffic across the zone's boundary.
+	// On the aggregate row the state columns carry the root zone's
+	// values (the root contains every member) and the boundary columns
+	// the sum over all zone boundaries.
+	StateGroups   int64 `json:"state_groups"`
+	StateTimers   int64 `json:"state_timers"`
+	RepairQueue   int64 `json:"repair_queue"`
+	ResidentBytes int64 `json:"resident_bytes"`
+	RTTEntries    int64 `json:"rtt_entries"`
+	BoundaryPkts  int64 `json:"boundary_pkts"`
+	BoundaryBytes int64 `json:"boundary_bytes"`
+}
+
+// CensusSource supplies the sampler's census columns. It is implemented
+// by census.Engine; an interface here keeps the telemetry package from
+// importing its own subpackage.
+type CensusSource interface {
+	// ZoneCensus returns the last snapshot's protocol-state aggregates
+	// for one zone.
+	ZoneCensus(zone int) (groups, timers, repairQ, residentBytes, rttEntries int64)
+	// ZoneBoundary returns cumulative traffic across the zone boundary.
+	ZoneBoundary(zone int) (pkts, bytes int64)
 }
 
 // Sampler turns a Metrics bridge into a per-zone time series: each
@@ -58,6 +83,10 @@ type ZoneSample struct {
 type Sampler struct {
 	m    *Metrics
 	rows []ZoneSample
+
+	// Census, when non-nil, fills the census columns of every row. Set
+	// it before the first Sample; rows taken earlier keep zero columns.
+	Census CensusSource
 }
 
 // NewSampler returns a sampler over m.
@@ -99,6 +128,11 @@ func (s *Sampler) Sample(t float64) {
 			row.NACKsPerLoss = float64(row.NACKsSent) / float64(row.LossesDetected)
 		}
 		row.DecodeLatencyMean = c.decodeLat.Mean()
+		if s.Census != nil {
+			row.StateGroups, row.StateTimers, row.RepairQueue,
+				row.ResidentBytes, row.RTTEntries = s.Census.ZoneCensus(z)
+			row.BoundaryPkts, row.BoundaryBytes = s.Census.ZoneBoundary(z)
+		}
 		s.rows = append(s.rows, row)
 
 		agg.DataPkts += row.DataPkts
@@ -119,6 +153,26 @@ func (s *Sampler) Sample(t float64) {
 		if row.CtrlH > agg.CtrlH {
 			agg.CtrlH = row.CtrlH
 		}
+		// State is attributed to every containing zone, so the root
+		// zone already holds the global totals: the max across zones is
+		// the root's value. Boundary traffic sums per-boundary.
+		if row.StateGroups > agg.StateGroups {
+			agg.StateGroups = row.StateGroups
+		}
+		if row.StateTimers > agg.StateTimers {
+			agg.StateTimers = row.StateTimers
+		}
+		if row.RepairQueue > agg.RepairQueue {
+			agg.RepairQueue = row.RepairQueue
+		}
+		if row.ResidentBytes > agg.ResidentBytes {
+			agg.ResidentBytes = row.ResidentBytes
+		}
+		if row.RTTEntries > agg.RTTEntries {
+			agg.RTTEntries = row.RTTEntries
+		}
+		agg.BoundaryPkts += row.BoundaryPkts
+		agg.BoundaryBytes += row.BoundaryBytes
 	}
 	if n := agg.NACKsSent + agg.NACKsSuppressed; n > 0 {
 		agg.SuppressionRatio = float64(agg.NACKsSuppressed) / float64(n)
@@ -160,7 +214,9 @@ func (s *Sampler) Last() (ZoneSample, bool) {
 const csvHeader = "t,zone,depth,data_pkts,repair_pkts,nack_pkts,session_pkts,bytes," +
 	"nacks_sent,nacks_suppressed,suppression_ratio,repairs_sent,repairs_injected," +
 	"losses_detected,nacks_per_loss,groups_decoded,decode_latency_mean_s," +
-	"zcr_elections,pred_zlc,ctrl_h,fault_drops,local_repair_frac"
+	"zcr_elections,pred_zlc,ctrl_h,fault_drops,local_repair_frac," +
+	"state_groups,state_timers,repair_queue,resident_bytes,rtt_entries," +
+	"boundary_pkts,boundary_bytes"
 
 // WriteCSV renders rows as CSV with a header line.
 func WriteCSV(w io.Writer, rows []ZoneSample) error {
@@ -168,11 +224,13 @@ func WriteCSV(w io.Writer, rows []ZoneSample) error {
 		return err
 	}
 	for _, r := range rows {
-		_, err := fmt.Fprintf(w, "%.4f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.6f,%d,%d,%d,%.6f,%d,%.6f,%d,%.6f,%.6f,%d,%.6f\n",
+		_, err := fmt.Fprintf(w, "%.4f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.6f,%d,%d,%d,%.6f,%d,%.6f,%d,%.6f,%.6f,%d,%.6f,%d,%d,%d,%d,%d,%d,%d\n",
 			r.T, r.Zone, r.Depth, r.DataPkts, r.RepairPkts, r.NACKPkts, r.SessionPkts, r.Bytes,
 			r.NACKsSent, r.NACKsSuppressed, r.SuppressionRatio, r.RepairsSent, r.RepairsInjected,
 			r.LossesDetected, r.NACKsPerLoss, r.GroupsDecoded, r.DecodeLatencyMean,
-			r.Elections, r.PredZLC, r.CtrlH, r.FaultDrops, r.LocalRepairFrac)
+			r.Elections, r.PredZLC, r.CtrlH, r.FaultDrops, r.LocalRepairFrac,
+			r.StateGroups, r.StateTimers, r.RepairQueue, r.ResidentBytes, r.RTTEntries,
+			r.BoundaryPkts, r.BoundaryBytes)
 		if err != nil {
 			return err
 		}

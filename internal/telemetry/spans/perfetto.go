@@ -30,12 +30,30 @@ type traceFile struct {
 	TraceEvents     []traceEvent `json:"traceEvents"`
 }
 
+// CounterSample is one point on a Perfetto counter track: the named
+// series' values at virtual time T, attached to the zone's process
+// track (or the global pid-0 track when Zone is scoping.NoZone). The
+// census engine's epoch history renders through these.
+type CounterSample struct {
+	Name   string
+	Zone   scoping.ZoneID
+	T      float64
+	Values map[string]float64
+}
+
 // WritePerfetto renders spans as a Chrome trace-event JSON file
 // loadable in Perfetto (ui.perfetto.dev) or chrome://tracing: one
 // process track per leaf zone, one thread track per node, one complete
 // ("X") slice per recovery span, with mechanism/blame/hop detail in the
 // slice args. Virtual seconds map to trace microseconds.
 func WritePerfetto(w io.Writer, sps []Span, view *ZoneView) error {
+	return WritePerfettoCounters(w, sps, view, nil)
+}
+
+// WritePerfettoCounters is WritePerfetto plus counter ("C") tracks next
+// to the recovery spans — one per CounterSample name/zone pair, e.g.
+// the census engine's per-zone state and scheduler series.
+func WritePerfettoCounters(w io.Writer, sps []Span, view *ZoneView, counters []CounterSample) error {
 	const usPerSec = 1e6
 	var evs []traceEvent
 
@@ -110,6 +128,25 @@ func WritePerfetto(w io.Writer, sps []Span, view *ZoneView) error {
 			Pid:  pidOf(view.LeafZone(s.Node)),
 			Tid:  int64(s.Node),
 			Args: args,
+		})
+	}
+
+	for _, c := range counters {
+		pid := pidOf(c.Zone)
+		if !seen[track{pid, -1}] {
+			seen[track{pid, -1}] = true
+			zoneName := "unzoned"
+			if c.Zone != scoping.NoZone {
+				zoneName = "zone " + itoa(int64(c.Zone)) + " (level " + itoa(int64(view.Level(c.Zone))) + ")"
+			}
+			meta(pid, 0, "process_name", zoneName)
+		}
+		args := make(map[string]any, len(c.Values))
+		for k, v := range c.Values {
+			args[k] = v
+		}
+		evs = append(evs, traceEvent{
+			Name: c.Name, Ph: "C", Ts: c.T * usPerSec, Pid: pid, Args: args,
 		})
 	}
 

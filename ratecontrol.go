@@ -2,6 +2,7 @@ package sharqfec
 
 import (
 	"fmt"
+	"math"
 
 	"sharqfec/internal/analysis"
 	"sharqfec/internal/core"
@@ -50,6 +51,34 @@ type RateControlConfig struct {
 	// relative to one preemptive share (default 12). Ignored by
 	// off/static.
 	ArqPenalty float64
+}
+
+// validate rejects non-finite or out-of-range tuning values before a
+// run starts. The defaulting in budget() treats Budget <= 0 as "use
+// the default", and NaN fails that comparison too — so without this
+// check a NaN budget would flow into the controller as a real bound.
+// Comparisons are written so NaN fails them.
+func (c *RateControlConfig) validate() error {
+	if c == nil {
+		return nil
+	}
+	switch c.Mode {
+	case "", RateControlOff, RateControlStatic, RateControlAdaptive:
+	default:
+		return fmt.Errorf("sharqfec: unknown rate-control mode %q (off|static|adaptive)", c.Mode)
+	}
+	if c.Budget != 0 && !(isFinite64(c.Budget) && c.Budget > 0 && c.Budget <= 1) {
+		return fmt.Errorf("sharqfec: rate-control budget %g must be a finite fraction in (0,1]", c.Budget)
+	}
+	if c.ArqPenalty != 0 && !(isFinite64(c.ArqPenalty) && c.ArqPenalty > 0) {
+		return fmt.Errorf("sharqfec: rate-control ARQ penalty %g must be finite and > 0", c.ArqPenalty)
+	}
+	return nil
+}
+
+// isFinite64 reports whether f is neither NaN nor ±Inf.
+func isFinite64(f float64) bool {
+	return f == f && f <= math.MaxFloat64 && f >= -math.MaxFloat64
 }
 
 // budget returns the configured budget with the package default
@@ -113,6 +142,9 @@ type ControllerComparisonConfig struct {
 // runs are byte-identical to uncontrolled runs at the same seeds, so
 // the comparison isolates the policy change.
 func RunControllerComparison(cfg ControllerComparisonConfig) (*analysis.ControllerReport, error) {
+	if err := (&RateControlConfig{Mode: RateControlAdaptive, Budget: cfg.Budget, ArqPenalty: cfg.ArqPenalty}).validate(); err != nil {
+		return nil, err
+	}
 	seeds := cfg.Seeds
 	if len(seeds) == 0 {
 		seeds = []uint64{cfg.Base.Seed}

@@ -1,0 +1,184 @@
+package sharqfec
+
+import (
+	"fmt"
+
+	"sharqfec/internal/analysis"
+	"sharqfec/internal/eventq"
+	"sharqfec/internal/netsim"
+	"sharqfec/internal/scoping"
+	"sharqfec/internal/session"
+	"sharqfec/internal/simrand"
+	"sharqfec/internal/telemetry"
+	"sharqfec/internal/telemetry/census"
+	"sharqfec/internal/topology"
+)
+
+// ScalingSweepConfig shapes the measured Figure-8 sweep: a national
+// hierarchy with fixed upper levels whose suburb population sweeps
+// through Subscribers, each point measured with the census engine on a
+// scoped and a flat (single-zone) session-only run.
+type ScalingSweepConfig struct {
+	// Regions/Cities/Suburbs fix the upper hierarchy (defaults 2/2/2).
+	Regions, Cities, Suburbs int
+	// Subscribers lists the per-suburb population sweep (default
+	// 2,4,6,8).
+	Subscribers []int
+	Seed        uint64
+	// Seconds of steady state measured per run (default 10).
+	Seconds float64
+	// Tolerance is the acceptable relative drift between the measured
+	// and analytic state-reduction ratios before a row is flagged
+	// (default 0.40). The measured ratio sits systematically below the
+	// idealized model's — StateSize also counts ZCR link tables, and
+	// small zones carry fixed session overheads the model ignores — and
+	// converges toward it as populations grow; see EXPERIMENTS.md E20.
+	Tolerance float64
+}
+
+// scalingMeasure is what one census-armed session-only run yields.
+type scalingMeasure struct {
+	peakState int64 // largest per-node session RTT table observed
+	ctrlLink  int64 // session-message link crossings
+	escape    int64 // crossings of region (level-1) zone boundaries
+}
+
+// RunScalingSweep measures the Figure-8 scaling claims: for each
+// receiver count it runs the session layer census-armed on the scoped
+// hierarchy and on the flattened topology, then lines the measured
+// state tables, reduction ratios and control-traffic locality up
+// against the analytic model, flagging drift beyond the tolerance.
+// Points run concurrently on the shared sweep worker pool.
+func RunScalingSweep(cfg ScalingSweepConfig) (*analysis.ScalingReport, error) {
+	if cfg.Regions == 0 {
+		cfg.Regions = 2
+	}
+	if cfg.Cities == 0 {
+		cfg.Cities = 2
+	}
+	if cfg.Suburbs == 0 {
+		cfg.Suburbs = 2
+	}
+	if len(cfg.Subscribers) == 0 {
+		cfg.Subscribers = []int{2, 4, 6, 8}
+	}
+	if cfg.Seconds == 0 {
+		cfg.Seconds = 10
+	}
+	if cfg.Tolerance == 0 {
+		cfg.Tolerance = 0.40
+	}
+
+	points := make([]analysis.ScalingPoint, len(cfg.Subscribers))
+	errs := make([]error, len(cfg.Subscribers))
+	runIndexed(len(cfg.Subscribers), func(i int) {
+		p := topology.NationalParams{
+			Regions: cfg.Regions, Cities: cfg.Cities,
+			Suburbs: cfg.Suburbs, SubscribersPerSuburb: cfg.Subscribers[i],
+		}
+		top := NationalTopology(cfg.Regions, cfg.Cities, cfg.Suburbs, cfg.Subscribers[i])
+		// Both runs account against the scoped zone geometry — the
+		// census is passive, so the flat protocol run can be measured
+		// against the boundaries scoping would have enforced.
+		scoped, err := runSessionCensus(top.spec, top.spec.Zones, cfg.Seed, cfg.Seconds)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		flat, err := runSessionCensus(globalized(top.spec), top.spec.Zones, cfg.Seed, cfg.Seconds)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+
+		// Analytic leaf-level row: the deepest (suburb) receivers carry
+		// the most state, so they bound the scoped side; the flat side
+		// is the all-pairs count.
+		leaf := analysis.Figure8Table(p)[3]
+		pt := analysis.ScalingPoint{
+			Receivers:           p.TotalReceivers(),
+			ScopedStateMeasured: scoped.peakState,
+			FlatStateMeasured:   flat.peakState,
+			ScopedStateAnalytic: leaf.RTTsMaintained,
+			FlatStateAnalytic:   p.TotalReceivers(),
+			ScopedMsgs:          scoped.ctrlLink,
+			FlatMsgs:            flat.ctrlLink,
+		}
+		if scoped.peakState > 0 {
+			pt.StateRatioMeasured = float64(flat.peakState) / float64(scoped.peakState)
+		}
+		pt.StateRatioAnalytic = leaf.StateReductionInv
+		pt.StateDrift = pt.Drift()
+		if scoped.ctrlLink > 0 {
+			pt.MsgReduction = float64(flat.ctrlLink) / float64(scoped.ctrlLink)
+			pt.ScopedEscapeFrac = float64(scoped.escape) / float64(scoped.ctrlLink)
+		}
+		if flat.ctrlLink > 0 {
+			pt.FlatEscapeFrac = float64(flat.escape) / float64(flat.ctrlLink)
+		}
+		points[i] = pt
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &analysis.ScalingReport{
+		Topology: fmt.Sprintf("national %dx%dx%d, %d s/run, seed %d",
+			cfg.Regions, cfg.Cities, cfg.Suburbs, int(cfg.Seconds), cfg.Seed),
+		Tolerance: cfg.Tolerance,
+		Points:    points,
+	}, nil
+}
+
+// runSessionCensus runs the session layer alone on spec with the
+// census engine armed: link matrices bound, per-member state probes
+// registered, epoch snapshots every virtual second. The protocol runs
+// against spec.Zones while the census accounts against acctZones, so a
+// flat run can be measured against the scoped zone geometry. It
+// returns the census-measured state peak and control-traffic matrix
+// entries.
+func runSessionCensus(spec *topology.Spec, acctZones []topology.ZoneSpec, seed uint64, seconds float64) (scalingMeasure, error) {
+	h, err := scoping.Build(spec.Zones)
+	if err != nil {
+		return scalingMeasure{}, err
+	}
+	hAcct, err := scoping.Build(acctZones)
+	if err != nil {
+		return scalingMeasure{}, err
+	}
+	var q eventq.Queue
+	src := simrand.New(seed)
+	net := netsim.New(&q, spec.Graph, h, src)
+	cen := census.New(telemetry.NewRegistry(), hAcct, spec.Graph.NumNodes())
+	cen.BindLinks(spec.Graph)
+	cen.BindQueue(&q)
+	net.SetHopTap(cen.ObserveHop)
+	for _, m := range spec.Members() {
+		mgr := session.New(m, net, session.DefaultConfig(), src.StreamN("session", int(m)))
+		net.Attach(m, sessionOnlyAgent{mgr})
+		cen.SetProbe(m, func() census.State {
+			return census.State{
+				Timers:         int64(mgr.CensusTimers()),
+				SessionEntries: int64(mgr.StateSize()),
+			}
+		})
+		isSource := m == spec.Source
+		q.At(1, func(eventq.Time) { mgr.Start(isSource) })
+	}
+	for t := 2.0; t <= 1+seconds; t++ {
+		at := t
+		q.At(eventq.Time(at), func(now eventq.Time) { cen.Snapshot(float64(now)) })
+	}
+	q.RunUntil(secondsToTime(1 + seconds))
+	cen.Snapshot(1 + seconds)
+
+	return scalingMeasure{
+		peakState: cen.PeakSessionEntries(),
+		ctrlLink:  cen.LinkPkts(census.ClassControl),
+		// Level 1 is the region tier of the accounting hierarchy:
+		// traffic crossing it has escaped the region scoping should
+		// have confined it to.
+		escape: cen.BoundaryPktsAtLevel(1, census.ClassControl),
+	}, nil
+}

@@ -9,6 +9,7 @@ import (
 	"sharqfec/internal/eventq"
 	"sharqfec/internal/scoping"
 	"sharqfec/internal/telemetry"
+	"sharqfec/internal/telemetry/census"
 	"sharqfec/internal/telemetry/health"
 	"sharqfec/internal/telemetry/spans"
 	"sharqfec/internal/topology"
@@ -65,6 +66,14 @@ type TelemetryConfig struct {
 	// histograms (with p50/p95/p99 gauges) to the metrics registry.
 	// Like the rest of the layer it is strictly passive.
 	Spans bool
+	// Census arms the cost-accounting engine: per-link and
+	// per-zone-boundary traffic matrices by packet class, a per-node /
+	// per-zone protocol-state census sampled on the metrics epochs, and
+	// event-queue scheduler gauges. Results surface as extra columns in
+	// the metrics CSV/JSON, census_* registry families, Perfetto counter
+	// tracks beside the recovery spans, and the report's CensusSummary.
+	// Strictly passive, like the rest of the layer.
+	Census bool
 	// SLO, when non-nil, attaches the streaming health engine: the
 	// objectives are evaluated on the virtual clock as the run executes,
 	// and violations come back onto the bus as health_alert /
@@ -85,6 +94,14 @@ func (cfg *TelemetryConfig) validate() error {
 	}
 	if iv := cfg.MetricsInterval; math.IsNaN(iv) || math.IsInf(iv, 0) {
 		return fmt.Errorf("sharqfec: TelemetryConfig.MetricsInterval must be finite, got %v", iv)
+	}
+	// SLO specs built programmatically (not through ParseSLOSpec) get
+	// the same bounds checks the parser applies — a NaN objective or
+	// window would otherwise judge nothing, silently.
+	if cfg.SLO != nil && cfg.SLO.spec != nil {
+		if err := cfg.SLO.spec.Validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -137,11 +154,32 @@ type TelemetryReport struct {
 	ControllerDecisions int64
 	ControllerMaxH      int64
 
-	rows   []telemetry.ZoneSample
-	flight []string
-	asm    *spans.Assembler
-	health *health.Report
-	dumps  []telemetry.TriggeredDump
+	rows         []telemetry.ZoneSample
+	flight       []string
+	asm          *spans.Assembler
+	health       *health.Report
+	dumps        []telemetry.TriggeredDump
+	censusSum    *census.Summary
+	censusEpochs []census.EpochRow
+}
+
+// CensusSummary returns the run-level cost-census digest (nil when
+// TelemetryConfig.Census was off). Safe on a nil report.
+func (r *TelemetryReport) CensusSummary() *census.Summary {
+	if r == nil {
+		return nil
+	}
+	return r.censusSum
+}
+
+// CensusEpochs returns the census epoch history — one row per metrics
+// snapshot with per-zone state and scheduler gauges (nil when the
+// census was off). Safe on a nil report.
+func (r *TelemetryReport) CensusEpochs() []census.EpochRow {
+	if r == nil {
+		return nil
+	}
+	return r.censusEpochs
 }
 
 // HealthReport returns the per-zone SLO verdicts (nil when the run had
@@ -227,12 +265,61 @@ func (r *TelemetryReport) RecoveryReport() *analysis.RecoveryReport {
 }
 
 // WritePerfetto renders the recovery spans as Chrome trace-event JSON
-// loadable in Perfetto / chrome://tracing.
+// loadable in Perfetto / chrome://tracing. When the census was armed,
+// its epoch history rides along as counter tracks (per-zone protocol
+// state and the scheduler series) next to the span slices.
 func (r *TelemetryReport) WritePerfetto(w io.Writer) error {
 	if r.asm == nil {
 		return fmt.Errorf("sharqfec: span tracing was not enabled")
 	}
-	return spans.WritePerfetto(w, r.asm.Spans(), r.asm.View())
+	return spans.WritePerfettoCounters(w, r.asm.Spans(), r.asm.View(), censusCounters(r.censusEpochs))
+}
+
+// censusCounters flattens census epochs into Perfetto counter samples:
+// one per-zone "census state" track (zones that ever held state) and a
+// global "census eventq" track.
+func censusCounters(epochs []census.EpochRow) []spans.CounterSample {
+	if len(epochs) == 0 {
+		return nil
+	}
+	// Emit only zones that ever report state, so idle interior zones do
+	// not add empty tracks.
+	live := map[scoping.ZoneID]bool{}
+	for _, ep := range epochs {
+		for _, zs := range ep.Zones {
+			if zs.Groups != 0 || zs.Timers != 0 || zs.RepairQueue != 0 ||
+				zs.ResidentBytes != 0 || zs.RTTEntries != 0 {
+				live[zs.Zone] = true
+			}
+		}
+	}
+	var out []spans.CounterSample
+	for _, ep := range epochs {
+		for _, zs := range ep.Zones {
+			if !live[zs.Zone] {
+				continue
+			}
+			out = append(out, spans.CounterSample{
+				Name: "census state", Zone: zs.Zone, T: ep.T,
+				Values: map[string]float64{
+					"groups":       float64(zs.Groups),
+					"timers":       float64(zs.Timers),
+					"repair_queue": float64(zs.RepairQueue),
+					"resident_kb":  float64(zs.ResidentBytes) / 1024,
+					"rtt_entries":  float64(zs.RTTEntries),
+				},
+			})
+		}
+		out = append(out, spans.CounterSample{
+			Name: "census eventq", Zone: scoping.NoZone, T: ep.T,
+			Values: map[string]float64{
+				"depth":     float64(ep.Queue.Depth),
+				"free":      float64(ep.Queue.Free),
+				"fire_rate": ep.Queue.FireRate,
+			},
+		})
+	}
+	return out
 }
 
 // telemetryRun bundles the live pieces a run wires together: the bus the
@@ -246,6 +333,26 @@ type telemetryRun struct {
 	spans   *spans.Assembler
 	health  *health.Engine
 	trigger *telemetry.DumpTrigger
+	census  *census.Engine
+}
+
+// censusOf returns the run's census engine, nil-safe: runs that did not
+// arm the census (and disabled runs) get nil.
+func (t *telemetryRun) censusOf() *census.Engine {
+	if t == nil {
+		return nil
+	}
+	return t.census
+}
+
+// snapshot takes one epoch sample: the census first (it refreshes the
+// registry gauges), then the time-series sampler, so the sampled rows
+// carry fresh census columns.
+func (t *telemetryRun) snapshot(at float64) {
+	if t.census != nil {
+		t.census.Snapshot(at)
+	}
+	t.sampler.Sample(at)
 }
 
 // busOf returns the run's bus, nil-safe, for wiring into configs that
@@ -271,6 +378,12 @@ func startTelemetry(cfg *TelemetryConfig, q *eventq.Queue, h *scoping.Hierarchy,
 	t.metrics = telemetry.NewMetrics(nil, h, numNodes)
 	t.bus.Attach(t.metrics.Sink())
 	t.sampler = telemetry.NewSampler(t.metrics)
+	if cfg.Census {
+		t.census = census.New(t.metrics.Reg, h, numNodes)
+		t.census.BindQueue(q)
+		t.bus.Attach(t.census.Sink())
+		t.sampler.Census = t.census
+	}
 	if cfg.Spans {
 		t.spans = spans.NewAssembler()
 		t.spans.Observer = func(s *spans.Span) {
@@ -333,7 +446,7 @@ func startTelemetry(cfg *TelemetryConfig, q *eventq.Queue, h *scoping.Hierarchy,
 	}
 	for k := 1; float64(k)*iv < until; k++ {
 		at := float64(k) * iv
-		q.At(eventq.Time(at), func(eventq.Time) { t.sampler.Sample(at) })
+		q.At(eventq.Time(at), func(eventq.Time) { t.snapshot(at) })
 	}
 	return t
 }
@@ -357,7 +470,7 @@ func (t *telemetryRun) finish(until float64) (*TelemetryReport, error) {
 		// (func values never compare equal).
 		t.spans.Observer = nil
 	}
-	t.sampler.Sample(until)
+	t.snapshot(until)
 	rep := &TelemetryReport{
 		EventsEmitted:       t.bus.Count(),
 		SuppressionRatio:    t.metrics.SuppressionRatio(),
@@ -372,6 +485,11 @@ func (t *telemetryRun) finish(until float64) (*TelemetryReport, error) {
 		rep.LocalRepairFrac = float64(local) / float64(local+global)
 	}
 	rep.asm = t.spans
+	if t.census != nil {
+		sum := t.census.Summarize()
+		rep.censusSum = &sum
+		rep.censusEpochs = t.census.Epochs()
+	}
 	if t.health != nil {
 		rep.health = t.health.Report()
 	}
