@@ -214,6 +214,48 @@ func BenchmarkSessionScaling(b *testing.B) {
 	}
 }
 
+// --- E21: zone-sharded parallel engine ---
+
+// BenchmarkShardedFig17 runs the paper scenario (full SHARQFEC, seed
+// 24) on the zone-sharded engine at 1, 2 and 4 shards. Results are
+// byte-identical at every width (TestShardCountInvarianceMatrix pins
+// the digests), so the sub-benchmarks measure pure engine wall clock;
+// benchreport derives the shards=K speedups from the summary. The ≥2×
+// target at shards=4 applies on a multicore runner (GOMAXPROCS ≥ 4) —
+// on fewer cores the worker budget collapses extra shards onto the
+// calling goroutine by design and the widths converge.
+func BenchmarkShardedFig17(b *testing.B) {
+	for _, k := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := RunData(DataConfig{Protocol: SHARQFEC, Seed: 24, Shards: k})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(100*res.CompletionRate, "completion_%")
+			}
+		})
+	}
+}
+
+// BenchmarkScaling100k is the E21 workload: one scoped session-census
+// point on the national 18×18×18×18 hierarchy — 105,318 receivers — on
+// the sharded engine with designated ZCRs, exactly as `-fig 8m -large`
+// runs it. Two virtual seconds keep an iteration tractable; state (the
+// Figure-8 quantity) saturates within the first, so the reported peak
+// matches the full E21 run.
+func BenchmarkScaling100k(b *testing.B) {
+	top := NationalTopology(18, 18, 18, 18)
+	for i := 0; i < b.N; i++ {
+		m, err := runSessionCensusSharded(top.spec, top.spec.Zones, top.spec.Zones, 1998, 2, 4, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(m.peakState), "peakState")
+		b.ReportMetric(float64(m.ctrlLink), "ctrlLinkPkts")
+	}
+}
+
 // --- Ablation: timer-constant sensitivity (paper §7 future work) ---
 
 func BenchmarkTimerSweep(b *testing.B) {

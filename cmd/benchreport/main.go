@@ -46,6 +46,11 @@ type Report struct {
 	GOARCH     string            `json:"goarch"`
 	Note       string            `json:"note,omitempty"`
 	Benchmarks map[string]Result `json:"benchmarks"`
+	// Speedups records, for every benchmark family with shards=K
+	// sub-benchmarks, the wall-clock ratio of the shards=1 width to
+	// each wider run (>1 means the parallel engine won). Derived from
+	// the medians above; meaningful only on a runner with ≥K cores.
+	Speedups map[string]float64 `json:"speedups,omitempty"`
 }
 
 func main() {
@@ -141,7 +146,32 @@ func summarize(r *os.File, note string) (*Report, error) {
 			Runs:        len(runs),
 		}
 	}
+	rep.Speedups = speedups(rep.Benchmarks)
 	return rep, nil
+}
+
+// shardSuffix splits "Family/shards=K" benchmark names.
+var shardSuffix = regexp.MustCompile(`^(.+)/shards=(\d+)$`)
+
+// speedups derives shards=1 ÷ shards=K wall-clock ratios for every
+// benchmark family that ran shard-width sub-benchmarks.
+func speedups(benchmarks map[string]Result) map[string]float64 {
+	out := map[string]float64{}
+	for name, res := range benchmarks {
+		m := shardSuffix.FindStringSubmatch(name)
+		if m == nil || m[2] == "1" || res.NsPerOp <= 0 {
+			continue
+		}
+		base, ok := benchmarks[m[1]+"/shards=1"]
+		if !ok || base.NsPerOp <= 0 {
+			continue
+		}
+		out[name] = base.NsPerOp / res.NsPerOp
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
 }
 
 func median(runs []Result, get func(Result) float64) float64 {

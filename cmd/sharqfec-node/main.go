@@ -245,6 +245,7 @@ func registerProbe(c *census.Engine, id topology.NodeID, node *udpmesh.Node, ag 
 				RepairQueue:    int64(st.RepairQueue),
 				ResidentBytes:  int64(st.ResidentBytes),
 				SessionEntries: int64(st.SessionEntries),
+				MemBytes:       int64(st.MemBytes),
 			}
 		case <-time.After(time.Second):
 			return census.State{}

@@ -104,6 +104,7 @@ func main() {
 	rcFlag := flag.String("ratecontrol", "off", "rate-control policy (off | static | adaptive)")
 	rcBudget := flag.Float64("rc-budget", 0, "adaptive repair budget as a fraction of group size (0 = default 0.5)")
 	censusFlag := flag.Bool("census", false, "arm the cost-census engine and print its traffic/state digest")
+	shardsFlag := flag.Int("shards", 0, "run on the zone-sharded parallel engine with N shards (0 = sequential; its own deterministic family, incompatible with telemetry/trace flags)")
 	flag.Parse()
 
 	proto, err := sharqfec.ParseProtocol(*protoFlag)
@@ -156,6 +157,7 @@ func main() {
 		Seed:       *seed,
 		NumPackets: *packets,
 		Until:      *until,
+		Shards:     *shardsFlag,
 	}
 	rcMode, err := sharqfec.ParseRateControlMode(*rcFlag)
 	if err != nil {

@@ -74,7 +74,8 @@ var censusColumns = []struct{ header, metric string }{
 	{"repq", "census_repair_queue"},
 	{"res_kb", "census_resident_bytes"}, // rendered in KiB
 	{"rtt", "census_rtt_entries"},
-	{"bnd_pkt", ""}, // derived: Σ census_boundary_pkts_<class>
+	{"b/rcvr", "census_bytes_per_rcvr"}, // slab-accounted memory per member
+	{"bnd_pkt", ""},                     // derived: Σ census_boundary_pkts_<class>
 }
 
 // censusClasses mirrors census.Class display order for the derived

@@ -59,6 +59,18 @@ type DataConfig struct {
 	// static EWMA policy — byte-identical to a build without the seam.
 	// SRM ignores it (no FEC).
 	RateControl *RateControlConfig
+	// Shards selects the zone-sharded parallel engine: the topology is
+	// partitioned by top-level zone onto this many event queues that
+	// advance concurrently under conservative lookahead. 0 (the
+	// default) keeps the sequential engine and its pinned goldens.
+	// Sharded runs form their own deterministic family: results are
+	// byte-identical for the same seed at ANY shard count (1, 2, 4, …)
+	// but differ from the sequential engine's, because loss randomness
+	// is re-keyed per link direction (the sequential engine's single
+	// global loss stream has no order-independent equivalent).
+	// Telemetry, TraceWriter and adaptive rate control are not yet
+	// supported sharded.
+	Shards int
 }
 
 func (c *DataConfig) applyDefaults() {
@@ -129,6 +141,9 @@ func RunData(cfg DataConfig) (*DataResult, error) {
 	}
 	if err := cfg.RateControl.validate(); err != nil {
 		return nil, err
+	}
+	if cfg.Shards != 0 {
+		return runDataSharded(cfg)
 	}
 	if cfg.Protocol == SRM {
 		return runSRM(cfg)
@@ -204,6 +219,7 @@ func runSHARQFEC(cfg DataConfig, opts core.Options) (*DataResult, error) {
 				RepairQueue:    int64(s.RepairQueue),
 				ResidentBytes:  int64(s.ResidentBytes),
 				SessionEntries: int64(s.SessionEntries),
+				MemBytes:       int64(s.MemBytes),
 			}
 		})
 	}

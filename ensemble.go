@@ -6,22 +6,32 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"sharqfec/internal/parallel"
 )
 
-// runtimeGOMAXPROCS is the default worker-pool width for the parallel
-// multi-run drivers (RunEnsemble, RunTimerSweep).
+// runtimeGOMAXPROCS is the default worker-pool width cap for the
+// parallel multi-run drivers (RunEnsemble, RunTimerSweep).
 func runtimeGOMAXPROCS() int { return runtime.GOMAXPROCS(0) }
 
-// runIndexed runs fn(0..n-1) across a worker pool of at most
-// sweepParallelism() goroutines. Unlike a spawn-per-item loop with a
-// semaphore, the pool never creates more goroutines than can run, so a
-// 10k-seed ensemble costs pool-width stacks instead of 10k.
+// runIndexed runs fn(0..n-1) across a worker pool. The caller's
+// goroutine is always one worker; every extra worker needs both room
+// under sweepParallelism() and a token from the process-wide
+// parallel budget shared with the shard runner. That sharing is what
+// stops an ensemble of sharded runs from oversubscribing the machine:
+// whichever pool starts second finds the budget spent and runs
+// narrower, in the limit sequentially — with identical results, since
+// work items never depend on pool width.
 func runIndexed(n int, fn func(i int)) {
 	workers := sweepParallelism()
 	if workers > n {
 		workers = n
 	}
-	if workers <= 1 {
+	extra := 0
+	for extra < workers-1 && parallel.TryAcquire() {
+		extra++
+	}
+	if extra == 0 {
 		for i := 0; i < n; i++ {
 			fn(i)
 		}
@@ -29,19 +39,24 @@ func runIndexed(n int, fn func(i int)) {
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
+	wg.Add(extra)
+	work := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			fn(i)
+		}
+	}
+	for w := 0; w < extra; w++ {
 		go func() {
 			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				fn(i)
-			}
+			defer parallel.Release()
+			work()
 		}()
 	}
+	work() // the caller is the implicit worker
 	wg.Wait()
 }
 

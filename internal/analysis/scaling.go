@@ -42,6 +42,13 @@ type ScalingPoint struct {
 	// flat.
 	ScopedEscapeFrac float64
 	FlatEscapeFrac   float64
+
+	// FlatAnalytic marks points whose flat side was NOT measured: above
+	// the sweep's flat cutoff the unscoped session is O(N²) in both
+	// state and messages, so the flat columns are the analytic model's
+	// and the state ratio compares measured-scoped against analytic-
+	// flat. Rendered with a trailing '~' on the flat state column.
+	FlatAnalytic bool
 }
 
 // Drift computes the relative disagreement between the measured and
@@ -89,10 +96,20 @@ func (r *ScalingReport) String() string {
 		if p.StateDrift > r.Tolerance {
 			flag = "  DRIFT"
 		}
-		fmt.Fprintf(&b, "%8d | %10d %10d | %6.1f %6.1f %4.0f%% | %7.1fx | %8.3f %8.3f%s\n",
-			p.Receivers, p.ScopedStateMeasured, p.FlatStateMeasured,
+		flat := fmt.Sprintf("%10d", p.FlatStateMeasured)
+		// Above the flat cutoff the flat run was not simulated, so the
+		// columns derived from its traffic have no measured value: leave
+		// them blank rather than printing a fake zero.
+		redux, flatEsc := fmt.Sprintf("%7.1fx", p.MsgReduction), fmt.Sprintf("%8.4f", p.FlatEscapeFrac)
+		if p.FlatAnalytic {
+			flat = fmt.Sprintf("%9d~", p.FlatStateAnalytic)
+			flag += "  (flat analytic)"
+			redux, flatEsc = fmt.Sprintf("%8s", "--"), fmt.Sprintf("%8s", "--")
+		}
+		fmt.Fprintf(&b, "%8d | %10d %s | %6.1f %6.1f %4.0f%% | %s | %8.4f %s%s\n",
+			p.Receivers, p.ScopedStateMeasured, flat,
 			p.StateRatioMeasured, p.StateRatioAnalytic, 100*p.StateDrift,
-			p.MsgReduction, p.ScopedEscapeFrac, p.FlatEscapeFrac, flag)
+			redux, p.ScopedEscapeFrac, flatEsc, flag)
 	}
 	if d := r.Drifted(); len(d) > 0 {
 		fmt.Fprintf(&b, "%d/%d points drift beyond tolerance\n", len(d), len(r.Points))

@@ -42,7 +42,8 @@ type Agent struct {
 	chain    []scoping.ZoneID // scope chain used for NACKs (collapsed when !Scoping)
 
 	groups   map[uint32]*group
-	maxSeq   int64 // highest original data seq seen; -1 before any
+	slab     groupSlab // arena backing every group's index bitsets
+	maxSeq   int64     // highest original data seq seen; -1 before any
 	ipt      float64
 	iptInit  bool
 	lastData eventq.Time
@@ -197,9 +198,15 @@ func (a *Agent) sourceSend(now eventq.Time, seq uint32) {
 	idx := int(seq) % k
 	data := a.sendData[gid]
 	if data == nil {
+		// One block per group, sliced per payload (capacity-clipped so
+		// an append can never bleed into a neighbor): k payloads cost
+		// one allocation instead of k, and the bytes and RNG draw order
+		// are identical to per-payload allocation.
 		data = make([][]byte, k)
+		sz := a.cfg.PayloadSize
+		block := make([]byte, k*sz)
 		for i := range data {
-			p := make([]byte, a.cfg.PayloadSize)
+			p := block[i*sz : (i+1)*sz : (i+1)*sz]
 			for j := range p {
 				p[j] = byte(a.rng.IntN(256))
 			}
@@ -291,7 +298,7 @@ func (a *Agent) Receive(now eventq.Time, d fabric.Delivery) {
 func (a *Agent) ensureGroup(gid uint32) *group {
 	g := a.groups[gid]
 	if g == nil {
-		g = newGroup(gid, a.cfg.GroupK)
+		g = newGroup(gid, a.cfg.GroupK, &a.slab)
 		a.groups[gid] = g
 	}
 	return g

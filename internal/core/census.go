@@ -20,6 +20,12 @@ type StateCensus struct {
 	// SessionEntries is the session manager's RTT-entry count — the
 	// "RTTs maintained per receiver" state quantity of Figure 8.
 	SessionEntries int
+	// MemBytes is the agent's estimated total protocol memory
+	// footprint: the slab arena backing the group bitsets, group
+	// bookkeeping structures and map entries, plus every payload byte
+	// counted by ResidentBytes. It feeds the census bytes-per-receiver
+	// gauge.
+	MemBytes int
 }
 
 // StateCensus reads the agent's current census. A stopped (crashed)
@@ -59,5 +65,6 @@ func (a *Agent) StateCensus() StateCensus {
 	}
 	s.PendingTimers += a.sess.CensusTimers()
 	s.SessionEntries = a.sess.StateSize()
+	s.MemBytes = a.footprintBytes()
 	return s
 }

@@ -18,14 +18,16 @@ type group struct {
 	shares map[int][]byte
 	// data holds the decoded original payloads once complete.
 	data [][]byte
-	// seen marks which original data indices arrived as data packets.
-	seen []bool
-	// counted marks data indices already counted into the LLC.
-	counted []bool
-	// lossed marks indices that ever emitted a loss_detected event.
-	// Unlike counted it is never reset when the original shows up late,
-	// so session-end accounting can close every opened recovery span.
-	lossed []bool
+	// sl/bits back the seen/counted/lossed index bitsets, packed as
+	// lanes in the agent's slab arena (see slab.go):
+	//   seen     — which original data indices arrived as data packets;
+	//   counted  — indices already counted into the LLC;
+	//   lossed   — indices that ever emitted a loss_detected event.
+	//     Unlike counted it is never cleared when the original shows up
+	//     late, so session-end accounting can close every opened
+	//     recovery span.
+	sl   *groupSlab
+	bits int32
 
 	llc          int
 	zlc          map[scoping.ZoneID]int
@@ -56,14 +58,13 @@ type group struct {
 	dupNACKs   int  // NACKs heard that failed to raise the ZLC
 }
 
-func newGroup(id uint32, k int) *group {
+func newGroup(id uint32, k int, sl *groupSlab) *group {
 	return &group{
 		id:         id,
 		k:          k,
 		shares:     make(map[int][]byte),
-		seen:       make([]bool, k),
-		counted:    make([]bool, k),
-		lossed:     make([]bool, k),
+		sl:         sl,
+		bits:       sl.alloc(k),
 		zlc:        make(map[scoping.ZoneID]int),
 		maxShare:   k - 1,
 		reqExp:     1,
@@ -72,6 +73,15 @@ func newGroup(id uint32, k int) *group {
 		injected:   make(map[scoping.ZoneID]bool),
 	}
 }
+
+// Bitset accessors over the slab lanes; see the field doc above.
+func (g *group) seen(i int) bool    { return g.sl.get(g.bits, laneSeen, i) }
+func (g *group) markSeen(i int)     { g.sl.set(g.bits, laneSeen, i) }
+func (g *group) counted(i int) bool { return g.sl.get(g.bits, laneCounted, i) }
+func (g *group) markCounted(i int)  { g.sl.set(g.bits, laneCounted, i) }
+func (g *group) uncount(i int)      { g.sl.clear(g.bits, laneCounted, i) }
+func (g *group) lossed(i int) bool  { return g.sl.get(g.bits, laneLossed, i) }
+func (g *group) markLossed(i int)   { g.sl.set(g.bits, laneLossed, i) }
 
 // needed returns how many more distinct shares complete the group.
 func (g *group) needed() int {
@@ -100,15 +110,15 @@ func (a *Agent) handleData(now eventq.Time, p *packet.Data) {
 		a.armLDPTimer(now, g, int(p.Index))
 	}
 	idx := int(p.Index)
-	if !g.seen[idx] {
-		g.seen[idx] = true
+	if !g.seen(idx) {
+		g.markSeen(idx)
 		if _, dup := g.shares[idx]; !dup && !g.complete {
 			g.shares[idx] = p.Payload
 		}
-		if g.counted[idx] {
+		if g.counted(idx) {
 			// The packet was presumed lost (a peer's high-water mark
 			// raced ahead of it) but was merely in flight: un-count.
-			g.counted[idx] = false
+			g.uncount(idx)
 			g.llc--
 		}
 	} else {
@@ -162,11 +172,11 @@ func (a *Agent) noteLoss(now eventq.Time, s uint32) {
 		g.scopeIdx = a.nackScope()
 		a.armLDPTimer(now, g, idx)
 	}
-	if g.seen[idx] || g.counted[idx] {
+	if g.seen(idx) || g.counted(idx) {
 		return
 	}
-	g.counted[idx] = true
-	g.lossed[idx] = true
+	g.markCounted(idx)
+	g.markLossed(idx)
 	g.llc++
 	a.ctrl.ObservePacket(true)
 	a.emit(now, telemetry.KindLossDetected, scoping.NoZone, int64(gid), int64(s), 0, 0)
@@ -203,7 +213,7 @@ func (a *Agent) ldpExpired(now eventq.Time, g *group) {
 		base := int(g.id) * a.cfg.GroupK
 		for idx := 0; idx < g.k && base+idx < a.cfg.NumPackets; idx++ {
 			a.rrTotal++
-			if !g.seen[idx] {
+			if !g.seen(idx) {
 				a.rrLost++
 			}
 		}
@@ -219,9 +229,9 @@ func (a *Agent) ldpExpired(now eventq.Time, g *group) {
 		if int(base)+idx >= a.cfg.NumPackets {
 			break
 		}
-		if !g.seen[idx] && !g.counted[idx] {
-			g.counted[idx] = true
-			g.lossed[idx] = true
+		if !g.seen(idx) && !g.counted(idx) {
+			g.markCounted(idx)
+			g.markLossed(idx)
 			g.llc++
 			a.ctrl.ObservePacket(true)
 			a.emit(now, telemetry.KindLossDetected, scoping.NoZone, int64(g.id), int64(base)+int64(idx), 0, 0)

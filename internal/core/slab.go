@@ -1,0 +1,99 @@
+package core
+
+// Struct-of-arrays backing store for per-group receiver state. Every
+// group used to carry three separate []bool slices (seen / counted /
+// lossed), i.e. three heap objects plus headers per group — at 10⁵–10⁶
+// agents times hundreds of groups that is the dominant allocation count
+// of a large run. The slab packs all three as bit lanes in one
+// contiguous []uint64 arena per agent: one append-only allocation site,
+// 3·⌈k/64⌉ words per group (a single word for the usual k=16), and an
+// exact byte figure for the census memory-footprint gauge.
+//
+// References are word offsets, not sub-slices, so arena growth (which
+// reallocates the backing array) never invalidates them. Lanes are
+// write-once-grow-only bookkeeping; nothing is ever freed — group
+// lifetime is the run, matching the previous slices' behavior exactly.
+
+import "unsafe"
+
+// Bit lanes of one group's allocation, in arena order.
+const (
+	laneSeen    = iota // original data index arrived as a data packet
+	laneCounted        // index counted into the LLC as lost
+	laneLossed         // index ever emitted a loss_detected event
+	numLanes
+)
+
+// groupSlab is one agent's arena. The zero value is ready to use; k is
+// fixed at first alloc (GroupK is constant per run).
+type groupSlab struct {
+	words []uint64
+	wpl   int32 // words per lane, ⌈k/64⌉
+}
+
+// alloc reserves the lanes for one k-share group and returns the base
+// word offset. All bits start clear, like freshly made []bool slices.
+func (s *groupSlab) alloc(k int) int32 {
+	if s.wpl == 0 {
+		s.wpl = int32((k + 63) / 64)
+	}
+	base := int32(len(s.words))
+	for i := int32(0); i < s.wpl*numLanes; i++ {
+		s.words = append(s.words, 0)
+	}
+	return base
+}
+
+// get reads bit i of the given lane of the group at base.
+func (s *groupSlab) get(base int32, lane, i int) bool {
+	w := base + int32(lane)*s.wpl + int32(i>>6)
+	return s.words[w]&(1<<uint(i&63)) != 0
+}
+
+// set sets bit i of the given lane of the group at base.
+func (s *groupSlab) set(base int32, lane, i int) {
+	w := base + int32(lane)*s.wpl + int32(i>>6)
+	s.words[w] |= 1 << uint(i&63)
+}
+
+// clear clears bit i of the given lane of the group at base.
+func (s *groupSlab) clear(base int32, lane, i int) {
+	w := base + int32(lane)*s.wpl + int32(i>>6)
+	s.words[w] &^= 1 << uint(i&63)
+}
+
+// bytes is the arena's retained footprint (capacity, not length: the
+// slack is held memory too).
+func (s *groupSlab) bytes() int { return cap(s.words) * 8 }
+
+// Estimated bytes per map entry (key + value + bucket share) across the
+// small per-group maps. The census wants a stable, honest order of
+// magnitude, not malloc ground truth.
+const mapEntryBytes = 48
+
+// footprintBytes estimates the agent's total resident protocol memory:
+// the bitset arena, the group structs and their map entries, payload
+// bytes held in share/data buffers and the source's transmit store.
+// Purely observational — reading it mutates nothing.
+func (a *Agent) footprintBytes() int {
+	b := a.slab.bytes()
+	b += len(a.groups) * (int(unsafe.Sizeof(group{})) + mapEntryBytes)
+	for _, g := range a.groups {
+		entries := len(g.shares) + len(g.zlc) + len(g.pending) +
+			len(g.zlcSampled) + len(g.injected)
+		b += entries * mapEntryBytes
+		for _, p := range g.shares {
+			b += len(p)
+		}
+		for _, p := range g.data {
+			b += len(p)
+		}
+	}
+	for _, d := range a.sendData {
+		b += mapEntryBytes
+		for _, p := range d {
+			b += len(p)
+		}
+	}
+	return b
+}

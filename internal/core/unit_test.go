@@ -204,7 +204,7 @@ func TestNackScopeSkipsOwnZones(t *testing.T) {
 }
 
 func TestGroupNeededClamps(t *testing.T) {
-	g := newGroup(0, 4)
+	g := newGroup(0, 4, &groupSlab{})
 	if g.needed() != 4 {
 		t.Fatalf("needed = %d", g.needed())
 	}

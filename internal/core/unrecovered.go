@@ -34,12 +34,12 @@ func (a *Agent) EmitUnrecoveredLosses(now eventq.Time) {
 			continue
 		}
 		base := int64(gid) * int64(a.cfg.GroupK)
-		for idx := 0; idx < len(g.lossed); idx++ {
-			if !g.lossed[idx] {
+		for idx := 0; idx < g.k; idx++ {
+			if !g.lossed(idx) {
 				continue
 			}
 			late := int64(0)
-			if g.seen[idx] {
+			if g.seen(idx) {
 				late = 1
 			}
 			a.emit(now, telemetry.KindLossUnrecovered, scoping.NoZone, int64(gid), base+int64(idx), late, 0)

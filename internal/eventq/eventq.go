@@ -13,8 +13,13 @@
 // inlined and popped or cancelled events return to a free list, so
 // steady-state scheduling allocates nothing. Timer handles carry a
 // generation counter so a recycled event can never be stopped or queried
-// through a stale handle. The (time, seq) ordering is total, so the heap
-// shape never affects dispatch order — determinism is untouched.
+// through a stale handle. The (time, birth-key, seq) ordering is total,
+// so the heap shape never affects dispatch order — determinism is
+// untouched.
+//
+// For parallel runs, ShardGroup advances several queues concurrently
+// under conservative lookahead, exchanging cross-shard events at barrier
+// epochs; see shard.go.
 package eventq
 
 import (
@@ -60,12 +65,24 @@ type Handler func(now Time)
 // event is a single queue entry. Events are recycled through the queue's
 // free list; gen distinguishes incarnations so stale Timer handles go
 // inert instead of acting on the recycled entry.
+//
+// Besides the scheduled time, every event carries its birth key: the
+// virtual time at which it was scheduled (bt) and the shard of the queue
+// that scheduled it (bs). Within one queue bt is non-decreasing in seq
+// and bs is constant, so the (at, bt, bs, seq) heap order below is
+// exactly the classic (at, seq) FIFO order — sequential runs are
+// untouched. Across queues the birth key is the piece of the total order
+// that survives sharding: seq counters of different shards are not
+// comparable, but (at, bt, bs) is, which is what makes the parallel
+// shard runner's merge deterministic and shard-count-invariant.
 type event struct {
 	at    Time
-	seq   uint64 // FIFO tie-break for identical timestamps
+	bt    Time   // birth time: Now() of the scheduling queue
+	seq   uint64 // FIFO tie-break for identical (at, bt, bs)
 	fn    Handler
 	index int32  // heap index, -1 while on the free list
 	gen   uint32 // incremented every time the event leaves the heap
+	bs    int32  // birth shard: shard ID of the scheduling queue
 }
 
 // Timer is a handle to a scheduled event that can be stopped or queried.
@@ -108,7 +125,50 @@ type Queue struct {
 	now       Time
 	seq       uint64
 	dispatchN uint64
+	// shard is the queue's shard ID, stamped on every scheduled event's
+	// birth key. Standalone queues are shard 0.
+	shard int32
+	// hashOn arms the dispatch digest: a running FNV-1a over the
+	// (at, bt, bs) key of every dispatched event. Per-shard digests are
+	// the diagnostic the shard runner records so a determinism breach
+	// can be localized to the first diverging shard.
+	hashOn bool
+	hash   uint64
 }
+
+// fnv1aOffset / fnv1aPrime are the standard 64-bit FNV-1a constants.
+const (
+	fnv1aOffset = 0xcbf29ce484222325
+	fnv1aPrime  = 0x100000001b3
+)
+
+// EnableDispatchHash arms the running dispatch digest (it starts at the
+// FNV-1a offset basis).
+func (q *Queue) EnableDispatchHash() {
+	q.hashOn = true
+	q.hash = fnv1aOffset
+}
+
+// DispatchHash returns the running FNV-1a digest over the (at, bt, bs)
+// keys of every event dispatched since EnableDispatchHash.
+func (q *Queue) DispatchHash() uint64 { return q.hash }
+
+// hashEvent folds one dispatched event's ordering key into the digest.
+func (q *Queue) hashEvent(ev *event) {
+	h := q.hash
+	for _, w := range [3]uint64{uint64(math.Float64bits(float64(ev.at))),
+		uint64(math.Float64bits(float64(ev.bt))), uint64(ev.bs)} {
+		for i := 0; i < 8; i++ {
+			h ^= (w >> (8 * i)) & 0xff
+			h *= fnv1aPrime
+		}
+	}
+	q.hash = h
+}
+
+// setShard assigns the queue's shard ID for event birth keys. The shard
+// runner calls it once at construction, before any events exist.
+func (q *Queue) setShard(id int32) { q.shard = id }
 
 // Now returns the current simulated time.
 func (q *Queue) Now() Time { return q.now }
@@ -130,6 +190,21 @@ func (q *Queue) At(at Time, fn Handler) Timer {
 	if at < q.now {
 		at = q.now
 	}
+	return q.insert(at, q.now, q.shard, fn)
+}
+
+// insertCross schedules fn with an explicit birth key, preserving the
+// (bt, bs) of the event's true origin. The shard runner uses it at
+// barrier epochs to land cross-shard deliveries in the destination
+// queue under the same total order a single queue would have used.
+func (q *Queue) insertCross(at, bt Time, bs int32, fn Handler) Timer {
+	if at < q.now {
+		at = q.now
+	}
+	return q.insert(at, bt, bs, fn)
+}
+
+func (q *Queue) insert(at, bt Time, bs int32, fn Handler) Timer {
 	var ev *event
 	if n := len(q.free); n > 0 {
 		ev = q.free[n-1]
@@ -139,6 +214,8 @@ func (q *Queue) At(at Time, fn Handler) Timer {
 		ev = &event{}
 	}
 	ev.at = at
+	ev.bt = bt
+	ev.bs = bs
 	ev.seq = q.seq
 	ev.fn = fn
 	q.seq++
@@ -167,6 +244,9 @@ func (q *Queue) Step() bool {
 	q.remove(0)
 	q.now = ev.at
 	q.dispatchN++
+	if q.hashOn {
+		q.hashEvent(ev)
+	}
 	fn := ev.fn
 	// Recycle before dispatch: the handler may schedule new events and
 	// reuse this entry immediately — recycle bumps gen first, so every
@@ -194,6 +274,21 @@ func (q *Queue) RunUntil(end Time) {
 	}
 }
 
+// runBefore dispatches events with timestamps strictly before end, then
+// advances the clock to end. The shard runner's epochs are half-open
+// [T, T+L): an event exactly at an epoch boundary belongs to the next
+// epoch, after cross-shard arrivals for that boundary have been merged
+// (a cross event posted at time t lands at t+latency ≥ T+L, i.e. never
+// earlier than the boundary — but possibly exactly on it).
+func (q *Queue) runBefore(end Time) {
+	for len(q.h) > 0 && q.h[0].at < end {
+		q.Step()
+	}
+	if q.now < end {
+		q.now = end
+	}
+}
+
 // recycle invalidates outstanding Timer handles for ev, releases its
 // handler closure, and returns it to the free list.
 func (q *Queue) recycle(ev *event) {
@@ -202,11 +297,21 @@ func (q *Queue) recycle(ev *event) {
 	q.free = append(q.free, ev)
 }
 
-// less orders events by (time, seq) — a total order, so dispatch order is
-// independent of heap layout.
+// less orders events by (time, birth time, birth shard, seq) — a total
+// order, so dispatch order is independent of heap layout. For events
+// scheduled by this queue itself, bt is non-decreasing in seq and bs is
+// constant, so the order degenerates to the classic (time, seq) FIFO
+// order; the extra keys only separate cross-shard arrivals, whose seq
+// (assigned at merge time) would otherwise be meaningless.
 func (q *Queue) less(a, b *event) bool {
 	if a.at != b.at {
 		return a.at < b.at
+	}
+	if a.bt != b.bt {
+		return a.bt < b.bt
+	}
+	if a.bs != b.bs {
+		return a.bs < b.bs
 	}
 	return a.seq < b.seq
 }

@@ -34,6 +34,12 @@ type Engine struct {
 	// every plan event as it fires.
 	Telemetry *telemetry.Bus
 
+	// Schedule, when non-nil, overrides how plan events are placed on
+	// the virtual clock. Zone-sharded runs point it at the shard
+	// group's sync barriers, so topology mutations run while every
+	// shard is quiescent; nil uses the network's own event queue.
+	Schedule func(at eventq.Time, fn func(now eventq.Time))
+
 	log []Applied
 	// partitioned records, per zone, the links a PartitionZone event
 	// disabled, so HealZone re-enables exactly those.
@@ -64,9 +70,13 @@ func (e *Engine) Start() error {
 	if err := e.plan.Validate(e.net.G, e.net.H); err != nil {
 		return err
 	}
+	sched := e.Schedule
+	if sched == nil {
+		sched = func(at eventq.Time, fn func(now eventq.Time)) { e.net.Q.At(at, fn) }
+	}
 	for _, ev := range e.plan.Events {
 		ev := ev
-		e.net.Q.At(eventq.Time(ev.At), func(now eventq.Time) {
+		sched(eventq.Time(ev.At), func(now eventq.Time) {
 			e.apply(now, ev)
 		})
 	}

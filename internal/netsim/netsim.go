@@ -107,6 +107,19 @@ type Network struct {
 	// Zero means unbounded (the paper's model: loss is Bernoulli only).
 	QueueLimit int
 
+	// cluster, when non-nil, marks this Network as one shard's view of
+	// a zone-sharded parallel simulation (see cluster.go): multicasts
+	// route through the cluster's fan plans and shared link state, and
+	// topology mutations delegate cluster-wide. shard is this view's
+	// shard index. Both stay zero on ordinary sequential networks.
+	cluster *Cluster
+	shard   int32
+	// planHopFree recycles the sharded path's in-flight hop structs,
+	// one pool per shard view (each view's queue runs its events on a
+	// single goroutine per epoch, so no locking is needed).
+	planHopFree []*planHop
+	spanHopFree []*spanHop
+
 	// Counters for coarse validation and benchmarks.
 	sent       uint64
 	delivered  uint64
@@ -197,6 +210,10 @@ func (n *Network) FaultDrops() uint64 { return n.faultdrops }
 // InvalidateRoutes discards every cached routing tree and pruned
 // delivery set. Call after any change that affects shortest paths.
 func (n *Network) InvalidateRoutes() {
+	if n.cluster != nil {
+		n.cluster.invalidateRoutes()
+		return
+	}
 	n.trees = make(map[topology.NodeID]*topology.Tree)
 	n.pruned = make(map[prunedKey][][]topology.NodeID)
 }
@@ -213,6 +230,10 @@ func (n *Network) invalidateMembership() {
 // link still arrive (they were on the wire); packets reaching a downed
 // link are discarded and counted by FaultDrops.
 func (n *Network) SetLinkUp(link int, up bool) {
+	if n.cluster != nil {
+		n.cluster.SetLinkUp(link, up)
+		return
+	}
 	if n.G.LinkUp(link) == up {
 		return
 	}
@@ -225,6 +246,10 @@ func (n *Network) SetLinkUp(link int, up bool) {
 // caches derived from it. The new hierarchy must use the same ZoneID
 // numbering as the old one (scoping.WithoutMember guarantees this).
 func (n *Network) SetHierarchy(h *scoping.Hierarchy) {
+	if n.cluster != nil {
+		n.cluster.SetHierarchy(h)
+		return
+	}
 	n.H = h
 	n.invalidateMembership()
 }
@@ -233,6 +258,10 @@ func (n *Network) SetHierarchy(h *scoping.Hierarchy) {
 // for one direction of a link (dir 0 = A→B, 1 = B→A). Links without a
 // model keep the default Bernoulli draw from the graph's loss rates.
 func (n *Network) SetLossModel(link, dir int, m LossModel) {
+	if n.cluster != nil {
+		n.cluster.SetLossModel(link, dir, m)
+		return
+	}
 	if link < 0 || link >= n.G.NumLinks() || dir < 0 || dir > 1 {
 		panic(fmt.Sprintf("netsim: SetLossModel(%d, %d) out of range", link, dir))
 	}
@@ -316,6 +345,9 @@ func (n *Network) Multicast(from topology.NodeID, zone scoping.ZoneID, pkt packe
 // wrong. A valid multicast to a zone with no other members is not an
 // error; the packet simply reaches nobody.
 func (n *Network) MulticastE(from topology.NodeID, zone scoping.ZoneID, pkt packet.Packet) error {
+	if n.cluster != nil {
+		return n.cluster.multicast(n, from, zone, pkt)
+	}
 	if from < 0 || int(from) >= n.G.NumNodes() {
 		return fmt.Errorf("netsim: multicast from node %d: %w", from, ErrUnknownNode)
 	}

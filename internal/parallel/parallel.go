@@ -1,0 +1,99 @@
+// Package parallel is the process-wide worker budget for everything in
+// this repository that fans out onto OS threads: the ensemble/sweep
+// worker pool (runIndexed) and the zone-shard runner (eventq.ShardGroup).
+//
+// Both consumers used to size themselves off GOMAXPROCS independently,
+// so nesting them — an ensemble of sharded runs is the natural way to
+// use both — oversubscribed the machine by up to GOMAXPROCS×. Instead,
+// every pool here keeps exactly one implicit worker (the calling
+// goroutine) and acquires tokens for any extra concurrency from one
+// shared, bounded budget of GOMAXPROCS-1 tokens. TryAcquire never
+// blocks: when the budget is exhausted a pool simply runs narrower (in
+// the limit, sequentially on its caller), so arbitrary nesting degrades
+// to sequential execution instead of deadlocking or thrashing.
+//
+// Results must never depend on how many tokens a pool actually won —
+// consumers are required to produce identical output at any width, the
+// same contract the shard runner's digest tests enforce.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+var (
+	mu     sync.Mutex
+	limit  = maxTokens()
+	active int
+	peak   int
+)
+
+func maxTokens() int {
+	n := runtime.GOMAXPROCS(0) - 1
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+// TryAcquire claims one extra-worker token. It never blocks; false means
+// the budget is spent and the caller should do the work on the
+// goroutine it already has.
+func TryAcquire() bool {
+	mu.Lock()
+	defer mu.Unlock()
+	if active >= limit {
+		return false
+	}
+	active++
+	if active > peak {
+		peak = active
+	}
+	return true
+}
+
+// Release returns one token claimed by TryAcquire.
+func Release() {
+	mu.Lock()
+	defer mu.Unlock()
+	if active == 0 {
+		panic("parallel: Release without Acquire")
+	}
+	active--
+}
+
+// Active returns the number of tokens currently held.
+func Active() int {
+	mu.Lock()
+	defer mu.Unlock()
+	return active
+}
+
+// Peak returns the high-water mark of concurrently held tokens since
+// process start (or the last SetLimit, which resets it).
+func Peak() int {
+	mu.Lock()
+	defer mu.Unlock()
+	return peak
+}
+
+// SetLimit overrides the token budget (n < 0 restores the GOMAXPROCS-1
+// default) and resets the peak gauge. It returns a function restoring
+// the previous budget — a test hook for pinning the pool narrow.
+func SetLimit(n int) (restore func()) {
+	mu.Lock()
+	defer mu.Unlock()
+	prev := limit
+	if n < 0 {
+		n = maxTokens()
+	}
+	limit = n
+	peak = 0
+	return func() {
+		mu.Lock()
+		defer mu.Unlock()
+		limit = prev
+		peak = 0
+	}
+}

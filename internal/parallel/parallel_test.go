@@ -1,0 +1,69 @@
+package parallel
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestBudgetBounds(t *testing.T) {
+	restore := SetLimit(2)
+	defer restore()
+	if !TryAcquire() || !TryAcquire() {
+		t.Fatal("budget of 2 should grant two tokens")
+	}
+	if TryAcquire() {
+		t.Fatal("third token granted past the limit")
+	}
+	Release()
+	if !TryAcquire() {
+		t.Fatal("released token not reusable")
+	}
+	Release()
+	Release()
+	if Active() != 0 {
+		t.Fatalf("Active = %d after all releases", Active())
+	}
+	if Peak() != 2 {
+		t.Fatalf("Peak = %d, want 2", Peak())
+	}
+}
+
+// TestNestedConsumersShareBudget is the oversubscription regression:
+// two pool layers racing for tokens can never hold more than the
+// budget combined, no matter the interleaving.
+func TestNestedConsumersShareBudget(t *testing.T) {
+	restore := SetLimit(3)
+	defer restore()
+	var wg sync.WaitGroup
+	for outer := 0; outer < 4; outer++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Each "pool" grabs as many tokens as it can, pretends to
+			// work, then releases — the runIndexed/ShardGroup pattern.
+			got := 0
+			for got < 5 && TryAcquire() {
+				got++
+			}
+			for i := 0; i < got; i++ {
+				Release()
+			}
+		}()
+	}
+	wg.Wait()
+	if Peak() > 3 {
+		t.Fatalf("Peak = %d tokens, budget was 3: oversubscribed", Peak())
+	}
+	if Active() != 0 {
+		t.Fatalf("Active = %d after teardown", Active())
+	}
+}
+
+func TestReleaseWithoutAcquirePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Release()
+}

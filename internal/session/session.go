@@ -199,6 +199,21 @@ func (m *Manager) Start(root bool) {
 	}
 }
 
+// SeedZCR installs n as the designated ZCR of zone z before elections
+// run, modelling the paper's deployments where zone representatives
+// (caches, designated routers) are configured rather than discovered —
+// Start(true) already does exactly this for the root zone. Call it
+// before Start: members that know an incumbent arm the steady-state
+// watchdog window instead of the short bootstrap window, so a fully
+// designated session skips the O(members × parent-scope) bootstrap
+// challenge storm that otherwise dominates large runs. Everything after
+// that is the unchanged protocol: duty challenges, passive distance
+// measurement, suppression and takeovers all still operate, so a badly
+// placed designee is corrected the normal way (§5.2).
+func (m *Manager) SeedZCR(z scoping.ZoneID, n topology.NodeID) {
+	m.setZCR(m.net.Sched().Now(), z, n, m.cfg.DefaultDist)
+}
+
 // Stop silences the manager: it ceases sending session messages,
 // challenges and takeovers, and ignores further input — modelling the
 // failure of the member (the host dies; the network keeps routing).

@@ -69,6 +69,26 @@ func (s *Series) Scaled(f float64) *Series {
 	return out
 }
 
+// Merge accumulates o into s bin-by-bin. The series must share their
+// origin and bin width (they do by construction: per-shard collectors
+// are built from one config). Bin values are integer packet counts, so
+// float64 accumulation is exact and merge order cannot matter.
+func (s *Series) Merge(o *Series) {
+	if o == nil || len(o.bins) == 0 {
+		return
+	}
+	if o.Start != s.Start || o.BinWidth != s.BinWidth {
+		panic(fmt.Sprintf("stats: merging series with mismatched layout (%g/%g vs %g/%g)",
+			o.Start, o.BinWidth, s.Start, s.BinWidth))
+	}
+	for len(s.bins) < len(o.bins) {
+		s.bins = append(s.bins, 0)
+	}
+	for i, v := range o.bins {
+		s.bins[i] += v
+	}
+}
+
 // Sum returns the total over all bins.
 func (s *Series) Sum() float64 {
 	t := 0.0
@@ -173,6 +193,22 @@ func (c *Collector) Tap() netsim.Tap {
 		case packet.TypeSession:
 			c.Session.Add(t, 1)
 		}
+	}
+}
+
+// Merge folds another collector's measurements into c — the reduction
+// step for zone-sharded runs, where each shard tallies its own nodes'
+// deliveries and the shards' series are summed afterwards. All series
+// hold integer counts, so the merged result is exact and independent
+// of merge order.
+func (c *Collector) Merge(o *Collector) {
+	c.DataRepair.Merge(o.DataRepair)
+	c.NACKs.Merge(o.NACKs)
+	c.Session.Merge(o.Session)
+	c.SourceDataRepair.Merge(o.SourceDataRepair)
+	c.SourceNACKs.Merge(o.SourceNACKs)
+	for k, v := range o.Totals {
+		c.Totals[k] += v
 	}
 }
 

@@ -104,6 +104,7 @@ type State struct {
 	RepairQueue    int64 // speculative repairs owed across zones
 	ResidentBytes  int64 // estimated bytes held in share/data buffers
 	SessionEntries int64 // RTT entries maintained (the Figure-8 state quantity)
+	MemBytes       int64 // total estimated memory footprint (slab arena + structures + payloads)
 }
 
 // Probe reads one node's State. Probes run synchronously inside epoch
@@ -122,6 +123,7 @@ type zoneCensus struct {
 	fecShares     *telemetry.Counter
 
 	groups, timers, repairQ, resident, rtt *telemetry.Gauge
+	mem, perRcvr                           *telemetry.Gauge
 }
 
 // linkCensus is one duplex link's traffic matrix; dir 0 is A→B.
@@ -138,6 +140,17 @@ type ZoneState struct {
 	RepairQueue   int64
 	ResidentBytes int64
 	RTTEntries    int64
+	MemBytes      int64
+	Members       int64 // probed members inside the zone this epoch
+}
+
+// BytesPerReceiver is the zone's memory footprint averaged over its
+// probed members — the per-receiver cost gauge of the slab allocator.
+func (zs *ZoneState) BytesPerReceiver() float64 {
+	if zs.Members == 0 {
+		return 0
+	}
+	return float64(zs.MemBytes) / float64(zs.Members)
 }
 
 // QueueState is the scheduler's shape at an epoch.
@@ -211,6 +224,8 @@ func New(reg *telemetry.Registry, h *scoping.Hierarchy, numNodes int) *Engine {
 		zc.repairQ = reg.Gauge(zk("census_repair_queue"))
 		zc.resident = reg.Gauge(zk("census_resident_bytes"))
 		zc.rtt = reg.Gauge(zk("census_rtt_entries"))
+		zc.mem = reg.Gauge(zk("census_mem_bytes"))
+		zc.perRcvr = reg.Gauge(zk("census_bytes_per_rcvr"))
 	}
 	gk := func(name string) telemetry.Key {
 		return telemetry.Key{Name: name, Node: topology.NoNode, Zone: scoping.NoZone}
@@ -337,6 +352,8 @@ func (e *Engine) Snapshot(t float64) {
 			zs.RepairQueue += st.RepairQueue
 			zs.ResidentBytes += st.ResidentBytes
 			zs.RTTEntries += st.SessionEntries
+			zs.MemBytes += st.MemBytes
+			zs.Members++
 		}
 	}
 	for z := range e.zones {
@@ -347,6 +364,8 @@ func (e *Engine) Snapshot(t float64) {
 		zc.repairQ.Set(float64(zs.RepairQueue))
 		zc.resident.Set(float64(zs.ResidentBytes))
 		zc.rtt.Set(float64(zs.RTTEntries))
+		zc.mem.Set(float64(zs.MemBytes))
+		zc.perRcvr.Set(zs.BytesPerReceiver())
 	}
 
 	var qs QueueState
@@ -384,6 +403,18 @@ func (e *Engine) ZoneCensus(zone int) (groups, timers, repairQ, residentBytes, r
 	zc := &e.zones[zone]
 	return int64(zc.groups.Value()), int64(zc.timers.Value()),
 		int64(zc.repairQ.Value()), int64(zc.resident.Value()), int64(zc.rtt.Value())
+}
+
+// ZoneMemory implements telemetry.CensusSource: the last snapshot's
+// memory-footprint aggregates for one zone — total estimated bytes and
+// the per-probed-member average (the slab allocator's bytes-per-
+// receiver gauge).
+func (e *Engine) ZoneMemory(zone int) (memBytes int64, bytesPerRcvr float64) {
+	if zone < 0 || zone >= len(e.zones) {
+		return
+	}
+	zc := &e.zones[zone]
+	return int64(zc.mem.Value()), zc.perRcvr.Value()
 }
 
 // ZoneBoundary implements telemetry.CensusSource: cumulative traffic

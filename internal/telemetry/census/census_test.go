@@ -130,7 +130,7 @@ func TestSnapshotAggregatesProbesByZone(t *testing.T) {
 		return State{Groups: 1, Timers: 2, SessionEntries: 3}
 	})
 	e.SetProbe(2, func() State {
-		return State{Groups: 10, Timers: 20, RepairQueue: 1, ResidentBytes: 4096, SessionEntries: 30}
+		return State{Groups: 10, Timers: 20, RepairQueue: 1, ResidentBytes: 4096, SessionEntries: 30, MemBytes: 6000}
 	})
 	e.Snapshot(1)
 
@@ -141,6 +141,14 @@ func TestSnapshotAggregatesProbesByZone(t *testing.T) {
 	groups, timers, _, _, rtt = e.ZoneCensus(1)
 	if groups != 10 || timers != 20 || rtt != 30 {
 		t.Fatalf("child census = (%d,%d,rtt %d), want (10,20,30)", groups, timers, rtt)
+	}
+	// Memory footprint: the root holds both probed members (6000 bytes
+	// over 2), the child only the one reporting 6000.
+	if mem, per := e.ZoneMemory(0); mem != 6000 || per != 3000 {
+		t.Fatalf("root memory = (%d, %.0f), want (6000, 3000)", mem, per)
+	}
+	if mem, per := e.ZoneMemory(1); mem != 6000 || per != 6000 {
+		t.Fatalf("child memory = (%d, %.0f), want (6000, 6000)", mem, per)
 	}
 	if got := e.PeakSessionEntries(); got != 30 {
 		t.Fatalf("PeakSessionEntries = %d, want 30", got)

@@ -55,13 +55,15 @@ type ZoneSample struct {
 	// On the aggregate row the state columns carry the root zone's
 	// values (the root contains every member) and the boundary columns
 	// the sum over all zone boundaries.
-	StateGroups   int64 `json:"state_groups"`
-	StateTimers   int64 `json:"state_timers"`
-	RepairQueue   int64 `json:"repair_queue"`
-	ResidentBytes int64 `json:"resident_bytes"`
-	RTTEntries    int64 `json:"rtt_entries"`
-	BoundaryPkts  int64 `json:"boundary_pkts"`
-	BoundaryBytes int64 `json:"boundary_bytes"`
+	StateGroups   int64   `json:"state_groups"`
+	StateTimers   int64   `json:"state_timers"`
+	RepairQueue   int64   `json:"repair_queue"`
+	ResidentBytes int64   `json:"resident_bytes"`
+	RTTEntries    int64   `json:"rtt_entries"`
+	MemBytes      int64   `json:"mem_bytes"`
+	BytesPerRcvr  float64 `json:"bytes_per_rcvr"`
+	BoundaryPkts  int64   `json:"boundary_pkts"`
+	BoundaryBytes int64   `json:"boundary_bytes"`
 }
 
 // CensusSource supplies the sampler's census columns. It is implemented
@@ -71,6 +73,9 @@ type CensusSource interface {
 	// ZoneCensus returns the last snapshot's protocol-state aggregates
 	// for one zone.
 	ZoneCensus(zone int) (groups, timers, repairQ, residentBytes, rttEntries int64)
+	// ZoneMemory returns the last snapshot's memory footprint for one
+	// zone: total estimated bytes and the per-member average.
+	ZoneMemory(zone int) (memBytes int64, bytesPerRcvr float64)
 	// ZoneBoundary returns cumulative traffic across the zone boundary.
 	ZoneBoundary(zone int) (pkts, bytes int64)
 }
@@ -131,6 +136,7 @@ func (s *Sampler) Sample(t float64) {
 		if s.Census != nil {
 			row.StateGroups, row.StateTimers, row.RepairQueue,
 				row.ResidentBytes, row.RTTEntries = s.Census.ZoneCensus(z)
+			row.MemBytes, row.BytesPerRcvr = s.Census.ZoneMemory(z)
 			row.BoundaryPkts, row.BoundaryBytes = s.Census.ZoneBoundary(z)
 		}
 		s.rows = append(s.rows, row)
@@ -170,6 +176,13 @@ func (s *Sampler) Sample(t float64) {
 		}
 		if row.RTTEntries > agg.RTTEntries {
 			agg.RTTEntries = row.RTTEntries
+		}
+		if row.MemBytes > agg.MemBytes {
+			// The root zone contains every member, so the max across
+			// zones is the global footprint — and its per-receiver
+			// average is the global one.
+			agg.MemBytes = row.MemBytes
+			agg.BytesPerRcvr = row.BytesPerRcvr
 		}
 		agg.BoundaryPkts += row.BoundaryPkts
 		agg.BoundaryBytes += row.BoundaryBytes
@@ -216,7 +229,7 @@ const csvHeader = "t,zone,depth,data_pkts,repair_pkts,nack_pkts,session_pkts,byt
 	"losses_detected,nacks_per_loss,groups_decoded,decode_latency_mean_s," +
 	"zcr_elections,pred_zlc,ctrl_h,fault_drops,local_repair_frac," +
 	"state_groups,state_timers,repair_queue,resident_bytes,rtt_entries," +
-	"boundary_pkts,boundary_bytes"
+	"mem_bytes,bytes_per_rcvr,boundary_pkts,boundary_bytes"
 
 // WriteCSV renders rows as CSV with a header line.
 func WriteCSV(w io.Writer, rows []ZoneSample) error {
@@ -224,13 +237,13 @@ func WriteCSV(w io.Writer, rows []ZoneSample) error {
 		return err
 	}
 	for _, r := range rows {
-		_, err := fmt.Fprintf(w, "%.4f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.6f,%d,%d,%d,%.6f,%d,%.6f,%d,%.6f,%.6f,%d,%.6f,%d,%d,%d,%d,%d,%d,%d\n",
+		_, err := fmt.Fprintf(w, "%.4f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.6f,%d,%d,%d,%.6f,%d,%.6f,%d,%.6f,%.6f,%d,%.6f,%d,%d,%d,%d,%d,%d,%.1f,%d,%d\n",
 			r.T, r.Zone, r.Depth, r.DataPkts, r.RepairPkts, r.NACKPkts, r.SessionPkts, r.Bytes,
 			r.NACKsSent, r.NACKsSuppressed, r.SuppressionRatio, r.RepairsSent, r.RepairsInjected,
 			r.LossesDetected, r.NACKsPerLoss, r.GroupsDecoded, r.DecodeLatencyMean,
 			r.Elections, r.PredZLC, r.CtrlH, r.FaultDrops, r.LocalRepairFrac,
 			r.StateGroups, r.StateTimers, r.RepairQueue, r.ResidentBytes, r.RTTEntries,
-			r.BoundaryPkts, r.BoundaryBytes)
+			r.MemBytes, r.BytesPerRcvr, r.BoundaryPkts, r.BoundaryBytes)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,244 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"sharqfec/internal/eventq"
+)
+
+// This file holds the size-parameterized topology generators used by
+// the large-N measured scaling experiments, beyond the paper's fixed
+// 4-level national hierarchy: ISP-like power-law hierarchies (a few
+// giant points of presence, a long tail of small ones) and wide/flat
+// fan-out shapes (the worst case for scoping, since almost every
+// receiver is one hop from the backbone). Both follow the builders.go
+// conventions: node 0 is the source, infrastructure caches are
+// receivers with their own zones, and zone IDs are dense in creation
+// order with zone 0 the root.
+
+// PowerLawParams sizes an ISP-like hierarchy. Subscriber mass across
+// points of presence follows a bounded power law: PoP ranked r gets
+// weight (r+1)^-Alpha, scaled to the receiver target, so a few PoPs are
+// huge and most are small — the degree shape measured in real ISP maps.
+// Each PoP splays its subscribers across aggregation routers of at most
+// MaxDegree ports.
+type PowerLawParams struct {
+	// PoPs is the number of tier-1 points of presence (default 16).
+	PoPs int
+	// Subscribers is the target leaf-subscriber total (default 1024).
+	Subscribers int
+	// Alpha is the power-law exponent (default 2.2; larger = more skew).
+	Alpha float64
+	// MaxDegree caps any router's subscriber fan-out (default 64).
+	MaxDegree int
+	// Seed drives the ±30% jitter applied to each PoP's rank weight, so
+	// different seeds give different (but reproducible) instances.
+	Seed uint64
+
+	// Link parameters; zero values default to 45 Mbit/s 15 ms core
+	// links and 10 Mbit/s 8 ms edge links with Loss on the edge only.
+	CoreBandwidth, EdgeBandwidth float64
+	CoreLatency, EdgeLatency     eventq.Duration
+	Loss                         float64
+}
+
+func (p *PowerLawParams) defaults() {
+	if p.PoPs == 0 {
+		p.PoPs = 16
+	}
+	if p.Subscribers == 0 {
+		p.Subscribers = 1024
+	}
+	if p.Alpha == 0 {
+		p.Alpha = 2.2
+	}
+	if p.MaxDegree == 0 {
+		p.MaxDegree = 64
+	}
+	if p.CoreBandwidth == 0 {
+		p.CoreBandwidth = 45e6
+	}
+	if p.EdgeBandwidth == 0 {
+		p.EdgeBandwidth = 10e6
+	}
+	if p.CoreLatency == 0 {
+		p.CoreLatency = 0.015
+	}
+	if p.EdgeLatency == 0 {
+		p.EdgeLatency = 0.008
+	}
+}
+
+// PowerLawSubscriberCounts returns the per-PoP subscriber allocation the
+// generator will use — exported so tests can assert the distribution's
+// shape without rebuilding the graph.
+func PowerLawSubscriberCounts(p PowerLawParams) []int {
+	p.defaults()
+	rng := rand.New(rand.NewPCG(p.Seed, 0x9e3779b97f4a7c15))
+	weights := make([]float64, p.PoPs)
+	total := 0.0
+	for r := range weights {
+		w := math.Pow(float64(r+1), -p.Alpha)
+		w *= 0.7 + 0.6*rng.Float64() // reproducible instance jitter
+		weights[r] = w
+		total += w
+	}
+	counts := make([]int, p.PoPs)
+	assigned := 0
+	for r, w := range weights {
+		c := int(math.Round(w / total * float64(p.Subscribers)))
+		if c < 1 {
+			c = 1 // every PoP serves someone
+		}
+		counts[r] = c
+		assigned += c
+	}
+	// Rounding drift lands on the largest PoP, keeping the tail intact.
+	counts[0] += p.Subscribers - assigned
+	if counts[0] < 1 {
+		counts[0] = 1
+	}
+	return counts
+}
+
+// PowerLawISP builds the ISP-like hierarchy: source → PoP routers
+// (power-law subscriber mass) → aggregation routers (≤ MaxDegree ports)
+// → subscribers. PoP and aggregation routers are dedicated caching
+// receivers rooting their own zones, exactly like the national
+// hierarchy's regional and city caches.
+func PowerLawISP(p PowerLawParams) *Spec {
+	p.defaults()
+	counts := PowerLawSubscriberCounts(p)
+
+	total := 1 + p.PoPs // source + PoP routers
+	for _, c := range counts {
+		aggs := (c + p.MaxDegree - 1) / p.MaxDegree
+		total += aggs + c
+	}
+	g := New(total)
+	spec := &Spec{Graph: g, Source: 0, Name: fmt.Sprintf("powerlaw-%d-%d", p.PoPs, p.Subscribers)}
+	spec.Zones = append(spec.Zones, ZoneSpec{ID: 0, Parent: -1, Leaves: []NodeID{0}})
+
+	next := NodeID(1)
+	zoneID := 1
+	for r, c := range counts {
+		pop := next
+		next++
+		g.AddLink(0, pop, p.CoreBandwidth, p.CoreLatency, 0)
+		spec.Receivers = append(spec.Receivers, pop)
+		popZone := zoneID
+		spec.Zones = append(spec.Zones, ZoneSpec{ID: popZone, Parent: 0, Leaves: []NodeID{pop}})
+		zoneID++
+
+		aggs := (c + p.MaxDegree - 1) / p.MaxDegree
+		left := c
+		for a := 0; a < aggs; a++ {
+			agg := next
+			next++
+			g.AddLink(pop, agg, p.EdgeBandwidth, p.CoreLatency, 0)
+			spec.Receivers = append(spec.Receivers, agg)
+			aggZone := zoneID
+			spec.Zones = append(spec.Zones, ZoneSpec{ID: aggZone, Parent: popZone, Leaves: []NodeID{agg}})
+			zoneID++
+
+			ports := p.MaxDegree
+			if left < ports {
+				ports = left
+			}
+			left -= ports
+			leaf := ZoneSpec{ID: zoneID, Parent: aggZone}
+			zoneID++
+			for s := 0; s < ports; s++ {
+				sub := next
+				next++
+				g.AddLink(agg, sub, p.EdgeBandwidth, p.EdgeLatency, p.Loss)
+				spec.Receivers = append(spec.Receivers, sub)
+				leaf.Leaves = append(leaf.Leaves, sub)
+			}
+			spec.Zones = append(spec.Zones, leaf)
+		}
+		_ = r
+	}
+	if int(next) != total {
+		panic("topology: powerlaw node count mismatch")
+	}
+	return spec
+}
+
+// FlatParams sizes a wide/flat fan-out shape: the source feeds Routers
+// edge routers, each serving ReceiversPerRouter subscribers — only two
+// hops deep no matter how wide it grows. It is the stress case for
+// scoped recovery (zones barely nest) and the natural shape for CDN-pop
+// style distribution.
+type FlatParams struct {
+	// Routers is the edge-router count (default 8).
+	Routers int
+	// ReceiversPerRouter is each router's subscriber count (default 128).
+	ReceiversPerRouter int
+
+	// Link parameters; zero values default to 45 Mbit/s 12 ms trunk
+	// links and 10 Mbit/s 8 ms subscriber links with Loss on the edge.
+	TrunkBandwidth, EdgeBandwidth float64
+	TrunkLatency, EdgeLatency     eventq.Duration
+	Loss                          float64
+}
+
+func (p *FlatParams) defaults() {
+	if p.Routers == 0 {
+		p.Routers = 8
+	}
+	if p.ReceiversPerRouter == 0 {
+		p.ReceiversPerRouter = 128
+	}
+	if p.TrunkBandwidth == 0 {
+		p.TrunkBandwidth = 45e6
+	}
+	if p.EdgeBandwidth == 0 {
+		p.EdgeBandwidth = 10e6
+	}
+	if p.TrunkLatency == 0 {
+		p.TrunkLatency = 0.012
+	}
+	if p.EdgeLatency == 0 {
+		p.EdgeLatency = 0.008
+	}
+}
+
+// FlatFanout builds the wide/flat shape. Each edge router is a caching
+// receiver rooting a two-level zone (router zone → subscriber leaf
+// zone), so the hierarchy is as shallow as the network.
+func FlatFanout(p FlatParams) *Spec {
+	p.defaults()
+	total := 1 + p.Routers*(1+p.ReceiversPerRouter)
+	g := New(total)
+	spec := &Spec{Graph: g, Source: 0, Name: fmt.Sprintf("flat-%dx%d", p.Routers, p.ReceiversPerRouter)}
+	spec.Zones = append(spec.Zones, ZoneSpec{ID: 0, Parent: -1, Leaves: []NodeID{0}})
+
+	next := NodeID(1)
+	zoneID := 1
+	for r := 0; r < p.Routers; r++ {
+		router := next
+		next++
+		g.AddLink(0, router, p.TrunkBandwidth, p.TrunkLatency, 0)
+		spec.Receivers = append(spec.Receivers, router)
+		routerZone := zoneID
+		spec.Zones = append(spec.Zones, ZoneSpec{ID: routerZone, Parent: 0, Leaves: []NodeID{router}})
+		zoneID++
+		leaf := ZoneSpec{ID: zoneID, Parent: routerZone}
+		zoneID++
+		for s := 0; s < p.ReceiversPerRouter; s++ {
+			sub := next
+			next++
+			g.AddLink(router, sub, p.EdgeBandwidth, p.EdgeLatency, p.Loss)
+			spec.Receivers = append(spec.Receivers, sub)
+			leaf.Leaves = append(leaf.Leaves, sub)
+		}
+		spec.Zones = append(spec.Zones, leaf)
+	}
+	if int(next) != total {
+		panic("topology: flat fan-out node count mismatch")
+	}
+	return spec
+}

@@ -1,0 +1,151 @@
+package topology_test
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"testing"
+
+	"sharqfec/internal/scoping"
+	"sharqfec/internal/topology"
+)
+
+// specDigest hashes a generated topology — nodes, links (including
+// bandwidth/latency/loss), receivers and zone layout — so one pinned
+// seed guards generator determinism across refactors.
+func specDigest(s *topology.Spec) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "name=%s nodes=%d source=%d\n", s.Name, s.Graph.NumNodes(), s.Source)
+	for i := 0; i < s.Graph.NumLinks(); i++ {
+		l := s.Graph.Link(i)
+		fmt.Fprintf(h, "link %d %d %g %g %g %g\n", l.A, l.B, l.Bandwidth, float64(l.Latency), l.LossAB, l.LossBA)
+	}
+	fmt.Fprintf(h, "receivers %v\n", s.Receivers)
+	for _, z := range s.Zones {
+		fmt.Fprintf(h, "zone %d parent %d leaves %v\n", z.ID, z.Parent, z.Leaves)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// checkZoneTree asserts the structural invariants every generator must
+// hold: dense zone IDs, a single root, acyclic parent chains, and a
+// layout scoping.Build accepts.
+func checkZoneTree(t *testing.T, s *topology.Spec, wantLeafDepth int) *scoping.Hierarchy {
+	t.Helper()
+	for i, z := range s.Zones {
+		if z.ID != i {
+			t.Fatalf("zone %d has ID %d; IDs must be dense", i, z.ID)
+		}
+		if i == 0 {
+			if z.Parent != -1 {
+				t.Fatalf("zone 0 must be the root, has parent %d", z.Parent)
+			}
+		} else if z.Parent < 0 || z.Parent >= i {
+			t.Fatalf("zone %d parent %d out of range (must precede child)", i, z.Parent)
+		}
+	}
+	h, err := scoping.Build(s.Zones)
+	if err != nil {
+		t.Fatalf("scoping.Build: %v", err)
+	}
+	// Every subscriber (non-infrastructure leaf) sits at the expected
+	// hierarchy depth.
+	maxDepth := 0
+	for _, r := range s.Receivers {
+		if d := len(h.ZonesOf(r)); d > maxDepth {
+			maxDepth = d
+		}
+	}
+	if maxDepth != wantLeafDepth {
+		t.Fatalf("leaf zone depth = %d, want %d", maxDepth, wantLeafDepth)
+	}
+	return h
+}
+
+func TestPowerLawISPStructure(t *testing.T) {
+	p := topology.PowerLawParams{Seed: 7, Loss: 0.02}
+	spec := topology.PowerLawISP(p)
+	g := spec.Graph
+
+	if g.NumLinks() != g.NumNodes()-1 {
+		t.Fatalf("powerlaw must be a tree: %d links for %d nodes", g.NumLinks(), g.NumNodes())
+	}
+	checkZoneTree(t, spec, 4) // root → PoP → aggregation → leaf
+
+	counts := topology.PowerLawSubscriberCounts(p)
+	sum := 0
+	for i, c := range counts {
+		if c < 1 {
+			t.Fatalf("PoP %d got %d subscribers; every PoP must serve someone", i, c)
+		}
+		sum += c
+	}
+	if sum != 1024 {
+		t.Fatalf("subscriber total = %d, want the 1024 default target", sum)
+	}
+	// Power-law shape: the largest PoP dwarfs the median.
+	sorted := append([]int(nil), counts...)
+	sort.Ints(sorted)
+	if median := sorted[len(sorted)/2]; sorted[len(sorted)-1] < 3*median {
+		t.Fatalf("distribution not heavy-tailed: max %d < 3×median %d", sorted[len(sorted)-1], median)
+	}
+	// Degree bound: no router fans out past MaxDegree subscriber ports
+	// (+1 uplink, +aggregation trunks at the PoP tier).
+	for v := 0; v < g.NumNodes(); v++ {
+		deg := len(g.Neighbors(topology.NodeID(v)))
+		if deg > 64+1+(1024+63)/64 {
+			t.Fatalf("node %d degree %d exceeds the MaxDegree-derived bound", v, deg)
+		}
+	}
+	// Receivers = every node but the source.
+	if len(spec.Receivers) != g.NumNodes()-1 {
+		t.Fatalf("receivers = %d, want %d", len(spec.Receivers), g.NumNodes()-1)
+	}
+}
+
+func TestFlatFanoutStructure(t *testing.T) {
+	spec := topology.FlatFanout(topology.FlatParams{Routers: 6, ReceiversPerRouter: 50, Loss: 0.05})
+	g := spec.Graph
+	if got, want := g.NumNodes(), 1+6*51; got != want {
+		t.Fatalf("nodes = %d, want %d", got, want)
+	}
+	if g.NumLinks() != g.NumNodes()-1 {
+		t.Fatalf("flat fan-out must be a tree")
+	}
+	checkZoneTree(t, spec, 3) // root → router → leaf
+	if deg := len(g.Neighbors(0)); deg != 6 {
+		t.Fatalf("source degree = %d, want Routers=6", deg)
+	}
+	// Wide and flat: 3 zone levels, router zones count = Routers.
+	level1 := 0
+	for _, z := range spec.Zones {
+		if z.Parent == 0 {
+			level1++
+		}
+	}
+	if level1 != 6 {
+		t.Fatalf("router zones = %d, want 6", level1)
+	}
+}
+
+// TestGeneratorSeedStability pins one generated instance per generator:
+// a changed digest means generated experiments are no longer
+// reproducible against recorded results.
+func TestGeneratorSeedStability(t *testing.T) {
+	const pinPowerLaw = "cf0768c9ae39b5870b8b684104b681a46c3c3deaa469bde5df315c3b085db87d"
+	const pinFlat = "b436e30ab62bdb9d2ad59b67b05f63ee928561d07f1dff24594dfb3b308ef5c1"
+	gotPL := specDigest(topology.PowerLawISP(topology.PowerLawParams{Seed: 7, Loss: 0.02}))
+	if gotPL != pinPowerLaw {
+		t.Errorf("powerlaw seed-7 digest = %s, want %s", gotPL, pinPowerLaw)
+	}
+	gotFlat := specDigest(topology.FlatFanout(topology.FlatParams{Loss: 0.05}))
+	if gotFlat != pinFlat {
+		t.Errorf("flat default digest = %s, want %s", gotFlat, pinFlat)
+	}
+	// Different seeds must generate different instances.
+	other := specDigest(topology.PowerLawISP(topology.PowerLawParams{Seed: 8, Loss: 0.02}))
+	if other == gotPL {
+		t.Error("seeds 7 and 8 generated identical power-law instances")
+	}
+}

@@ -1,0 +1,96 @@
+package topology
+
+import (
+	"math"
+
+	"sharqfec/internal/eventq"
+)
+
+// PartitionByZone assigns every node to one of k shards, keeping each
+// top-level zone's whole subtree (the paper's unit of recovery
+// locality) on a single shard, and returns the conservative lookahead
+// for the resulting partition: the minimum latency of any link joining
+// two different shards. Zones whose parent is the root form the
+// indivisible blocks; blocks are balanced across shards by node count
+// (largest first onto the lightest shard — deterministic, ties to the
+// lower shard ID). Nodes in no top-level block — typically just the
+// source in the root zone — land on shard 0.
+//
+// When the partition has no boundary links at all (k=1, or a single
+// block), the lookahead falls back to the minimum latency over every
+// link: still a valid conservative window, since no cross-shard
+// influence exists to bound.
+//
+// The zone layout passed in should be the topology's native one even
+// for globalized (unscoped) protocol runs: administrative flattening
+// changes packet scoping, not the physical locality the partition
+// exploits.
+func PartitionByZone(g *Graph, zones []ZoneSpec, k int) (owner []int32, lookahead eventq.Duration) {
+	if k < 1 {
+		k = 1
+	}
+	owner = make([]int32, g.NumNodes())
+
+	// blockNodes[b] collects the node set of top-level zone block b.
+	var blockNodes [][]NodeID
+	blockOf := make(map[int]int) // zone ID → block index
+	for _, z := range zones {
+		switch {
+		case z.Parent < 0:
+			continue // root zone: its direct leaves stay on shard 0
+		case z.Parent == zones[0].ID:
+			blockOf[z.ID] = len(blockNodes)
+			blockNodes = append(blockNodes, append([]NodeID(nil), z.Leaves...))
+		default:
+			if b, ok := blockOf[z.Parent]; ok {
+				blockOf[z.ID] = b
+				blockNodes[b] = append(blockNodes[b], z.Leaves...)
+			}
+		}
+	}
+
+	// Largest block first onto the lightest shard. Sorting is by
+	// (size desc, block index asc) via a simple selection over the
+	// small block count, so assignment is fully deterministic.
+	loads := make([]int, k)
+	assigned := make([]bool, len(blockNodes))
+	for range blockNodes {
+		best := -1
+		for b := range blockNodes {
+			if assigned[b] {
+				continue
+			}
+			if best < 0 || len(blockNodes[b]) > len(blockNodes[best]) {
+				best = b
+			}
+		}
+		assigned[best] = true
+		shard := 0
+		for s := 1; s < k; s++ {
+			if loads[s] < loads[shard] {
+				shard = s
+			}
+		}
+		loads[shard] += len(blockNodes[best])
+		for _, v := range blockNodes[best] {
+			owner[v] = int32(shard)
+		}
+	}
+
+	boundary := eventq.Duration(math.MaxFloat64)
+	all := eventq.Duration(math.MaxFloat64)
+	for i := 0; i < g.NumLinks(); i++ {
+		l := g.Link(i)
+		if l.Latency < all {
+			all = l.Latency
+		}
+		if owner[l.A] != owner[l.B] && l.Latency < boundary {
+			boundary = l.Latency
+		}
+	}
+	lookahead = boundary
+	if lookahead == eventq.Duration(math.MaxFloat64) {
+		lookahead = all
+	}
+	return owner, lookahead
+}

@@ -34,6 +34,29 @@ type ScalingSweepConfig struct {
 	// small zones carry fixed session overheads the model ignores — and
 	// converges toward it as populations grow; see EXPERIMENTS.md E20.
 	Tolerance float64
+	// Shards > 0 runs each census point on the zone-sharded parallel
+	// engine with that many shards (see DataConfig.Shards). The
+	// national session runs are lossless, so sharded and sequential
+	// measurements agree exactly; sharding is what makes the 10⁵-
+	// receiver points tractable. 0 keeps the sequential engine.
+	Shards int
+	// DesignateZCRs pre-seeds every zone's ZCR (the zone's lowest-ID
+	// member; the source for the root zone) before the session layer
+	// starts, modelling the paper's deployments where zone
+	// representatives are configured rather than elected. Without it
+	// every receiver probes its region zone on the short bootstrap
+	// window and each probe floods the root scope — Θ(N²) hop events,
+	// which at 10⁵ receivers is ~10¹⁰ and dwarfs the steady state being
+	// measured. Designated runs skip only that bootstrap storm; duty
+	// challenges, distance measurement and takeovers still run, and
+	// bootstrap election cost itself is measured at small N (E20).
+	DesignateZCRs bool
+	// FlatCutoff bounds the receiver count up to which the flat
+	// (unscoped) side is actually simulated. Above it the flat session
+	// is O(N²) in state and messages — at 10⁵ receivers that is ~10¹⁰
+	// RTT entries — so the flat columns switch to the analytic model
+	// and the row is flagged FlatAnalytic. Default 4096.
+	FlatCutoff int
 }
 
 // scalingMeasure is what one census-armed session-only run yields.
@@ -68,6 +91,16 @@ func RunScalingSweep(cfg ScalingSweepConfig) (*analysis.ScalingReport, error) {
 	if cfg.Tolerance == 0 {
 		cfg.Tolerance = 0.40
 	}
+	if cfg.FlatCutoff == 0 {
+		cfg.FlatCutoff = 4096
+	}
+
+	measure := func(spec *topology.Spec, acct, part []topology.ZoneSpec) (scalingMeasure, error) {
+		if cfg.Shards > 0 {
+			return runSessionCensusSharded(spec, acct, part, cfg.Seed, cfg.Seconds, cfg.Shards, cfg.DesignateZCRs)
+		}
+		return runSessionCensus(spec, acct, cfg.Seed, cfg.Seconds, cfg.DesignateZCRs)
+	}
 
 	points := make([]analysis.ScalingPoint, len(cfg.Subscribers))
 	errs := make([]error, len(cfg.Subscribers))
@@ -79,16 +112,22 @@ func RunScalingSweep(cfg ScalingSweepConfig) (*analysis.ScalingReport, error) {
 		top := NationalTopology(cfg.Regions, cfg.Cities, cfg.Suburbs, cfg.Subscribers[i])
 		// Both runs account against the scoped zone geometry — the
 		// census is passive, so the flat protocol run can be measured
-		// against the boundaries scoping would have enforced.
-		scoped, err := runSessionCensus(top.spec, top.spec.Zones, cfg.Seed, cfg.Seconds)
+		// against the boundaries scoping would have enforced. The
+		// partition (sharded runs) always uses the native zones too:
+		// flattening changes scoping, not physical locality.
+		scoped, err := measure(top.spec, top.spec.Zones, top.spec.Zones)
 		if err != nil {
 			errs[i] = err
 			return
 		}
-		flat, err := runSessionCensus(globalized(top.spec), top.spec.Zones, cfg.Seed, cfg.Seconds)
-		if err != nil {
-			errs[i] = err
-			return
+		var flat scalingMeasure
+		flatMeasured := p.TotalReceivers() <= cfg.FlatCutoff
+		if flatMeasured {
+			flat, err = measure(globalized(top.spec), top.spec.Zones, top.spec.Zones)
+			if err != nil {
+				errs[i] = err
+				return
+			}
 		}
 
 		// Analytic leaf-level row: the deepest (suburb) receivers carry
@@ -103,14 +142,24 @@ func RunScalingSweep(cfg ScalingSweepConfig) (*analysis.ScalingReport, error) {
 			FlatStateAnalytic:   p.TotalReceivers(),
 			ScopedMsgs:          scoped.ctrlLink,
 			FlatMsgs:            flat.ctrlLink,
+			FlatAnalytic:        !flatMeasured,
 		}
 		if scoped.peakState > 0 {
-			pt.StateRatioMeasured = float64(flat.peakState) / float64(scoped.peakState)
+			if flatMeasured {
+				pt.StateRatioMeasured = float64(flat.peakState) / float64(scoped.peakState)
+			} else {
+				// Hybrid ratio: measured scoped state against the
+				// analytic flat table, so drift still reports how far
+				// the scoped measurement sits from the model.
+				pt.StateRatioMeasured = float64(pt.FlatStateAnalytic) / float64(scoped.peakState)
+			}
 		}
 		pt.StateRatioAnalytic = leaf.StateReductionInv
 		pt.StateDrift = pt.Drift()
 		if scoped.ctrlLink > 0 {
-			pt.MsgReduction = float64(flat.ctrlLink) / float64(scoped.ctrlLink)
+			if flatMeasured {
+				pt.MsgReduction = float64(flat.ctrlLink) / float64(scoped.ctrlLink)
+			}
 			pt.ScopedEscapeFrac = float64(scoped.escape) / float64(scoped.ctrlLink)
 		}
 		if flat.ctrlLink > 0 {
@@ -138,7 +187,7 @@ func RunScalingSweep(cfg ScalingSweepConfig) (*analysis.ScalingReport, error) {
 // flat run can be measured against the scoped zone geometry. It
 // returns the census-measured state peak and control-traffic matrix
 // entries.
-func runSessionCensus(spec *topology.Spec, acctZones []topology.ZoneSpec, seed uint64, seconds float64) (scalingMeasure, error) {
+func runSessionCensus(spec *topology.Spec, acctZones []topology.ZoneSpec, seed uint64, seconds float64, designate bool) (scalingMeasure, error) {
 	h, err := scoping.Build(spec.Zones)
 	if err != nil {
 		return scalingMeasure{}, err
@@ -146,6 +195,10 @@ func runSessionCensus(spec *topology.Spec, acctZones []topology.ZoneSpec, seed u
 	hAcct, err := scoping.Build(acctZones)
 	if err != nil {
 		return scalingMeasure{}, err
+	}
+	var designated map[scoping.ZoneID]topology.NodeID
+	if designate {
+		designated = designatedZCRs(h, spec.Source)
 	}
 	var q eventq.Queue
 	src := simrand.New(seed)
@@ -164,7 +217,10 @@ func runSessionCensus(spec *topology.Spec, acctZones []topology.ZoneSpec, seed u
 			}
 		})
 		isSource := m == spec.Source
-		q.At(1, func(eventq.Time) { mgr.Start(isSource) })
+		q.At(1, func(eventq.Time) {
+			seedDesignated(mgr, designated)
+			mgr.Start(isSource)
+		})
 	}
 	for t := 2.0; t <= 1+seconds; t++ {
 		at := t
@@ -181,4 +237,110 @@ func runSessionCensus(spec *topology.Spec, acctZones []topology.ZoneSpec, seed u
 		// have confined it to.
 		escape: cen.BoundaryPktsAtLevel(1, census.ClassControl),
 	}, nil
+}
+
+// runSessionCensusSharded is runSessionCensus on the zone-sharded
+// parallel engine: partZones drives the physical partition (always the
+// native zone geometry, even when the protocol runs globalized), every
+// shard view feeds the one census hop tap (ObserveHop is atomic), and
+// member starts plus epoch snapshots run at Sync barriers so they see
+// a globally consistent virtual time. The national sweeps are
+// lossless, so this measures exactly what the sequential engine would.
+func runSessionCensusSharded(spec *topology.Spec, acctZones, partZones []topology.ZoneSpec, seed uint64, seconds float64, shards int, designate bool) (scalingMeasure, error) {
+	h, err := scoping.Build(spec.Zones)
+	if err != nil {
+		return scalingMeasure{}, err
+	}
+	hAcct, err := scoping.Build(acctZones)
+	if err != nil {
+		return scalingMeasure{}, err
+	}
+	var designated map[scoping.ZoneID]topology.NodeID
+	if designate {
+		designated = designatedZCRs(h, spec.Source)
+	}
+	owner, lookahead := topology.PartitionByZone(spec.Graph, partZones, shards)
+	if lookahead <= 0 {
+		return scalingMeasure{}, fmt.Errorf("sharded census: partition yields no positive lookahead")
+	}
+	src := simrand.New(seed)
+	grp := eventq.NewShardGroup(shards, lookahead)
+	cluster, err := netsim.NewCluster(grp, spec.Graph, h, src, owner)
+	if err != nil {
+		return scalingMeasure{}, err
+	}
+	cen := census.New(telemetry.NewRegistry(), hAcct, spec.Graph.NumNodes())
+	cen.BindLinks(spec.Graph)
+	cen.BindQueue(grp.Queue(0))
+	for i := 0; i < cluster.NumShards(); i++ {
+		cluster.Shard(i).SetHopTap(cen.ObserveHop)
+	}
+	members := spec.Members()
+	mgrs := make([]*session.Manager, len(members))
+	for i, m := range members {
+		mgr := session.New(m, cluster.NetFor(m), session.DefaultConfig(), src.StreamN("session", int(m)))
+		cluster.NetFor(m).Attach(m, sessionOnlyAgent{mgr})
+		mgrs[i] = mgr
+		cen.SetProbe(m, func() census.State {
+			return census.State{
+				Timers:         int64(mgr.CensusTimers()),
+				SessionEntries: int64(mgr.StateSize()),
+			}
+		})
+	}
+	grp.Sync(1, func(eventq.Time) {
+		for i, m := range members {
+			seedDesignated(mgrs[i], designated)
+			mgrs[i].Start(m == spec.Source)
+		}
+	})
+	for t := 2.0; t <= 1+seconds; t++ {
+		grp.Sync(eventq.Time(t), func(now eventq.Time) { cen.Snapshot(float64(now)) })
+	}
+	grp.Run(secondsToTime(1 + seconds))
+	cen.Snapshot(1 + seconds)
+
+	return scalingMeasure{
+		peakState: cen.PeakSessionEntries(),
+		ctrlLink:  cen.LinkPkts(census.ClassControl),
+		escape:    cen.BoundaryPktsAtLevel(1, census.ClassControl),
+	}, nil
+}
+
+// designatedZCRs returns the deployment-style ZCR assignment for every
+// zone of h: the data source for the root zone (Start(true) declares it
+// there anyway) and the lowest-ID member elsewhere. Purely a function
+// of the hierarchy, so sequential and sharded runs seed identically and
+// shard-count invariance is preserved.
+func designatedZCRs(h *scoping.Hierarchy, source topology.NodeID) map[scoping.ZoneID]topology.NodeID {
+	d := make(map[scoping.ZoneID]topology.NodeID, h.NumZones())
+	for z := scoping.ZoneID(0); int(z) < h.NumZones(); z++ {
+		if h.Parent(z) == scoping.NoZone {
+			d[z] = source
+			continue
+		}
+		best := topology.NoNode
+		for _, m := range h.Members(z) {
+			if best == topology.NoNode || m < best {
+				best = m
+			}
+		}
+		if best != topology.NoNode {
+			d[z] = best
+		}
+	}
+	return d
+}
+
+// seedDesignated pre-installs the designated ZCR of every zone in the
+// manager's chain. A nil map (designation off) is a no-op.
+func seedDesignated(mgr *session.Manager, designated map[scoping.ZoneID]topology.NodeID) {
+	if designated == nil {
+		return
+	}
+	for _, z := range mgr.Chain() {
+		if d, ok := designated[z]; ok {
+			mgr.SeedZCR(z, d)
+		}
+	}
 }

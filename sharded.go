@@ -1,0 +1,374 @@
+package sharqfec
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+
+	"sharqfec/internal/core"
+	"sharqfec/internal/eventq"
+	"sharqfec/internal/faults"
+	"sharqfec/internal/netsim"
+	"sharqfec/internal/scoping"
+	"sharqfec/internal/simrand"
+	"sharqfec/internal/srm"
+	"sharqfec/internal/stats"
+	"sharqfec/internal/topology"
+)
+
+// This file is the zone-sharded parallel counterpart of data.go: the
+// same experiment, run on an eventq.ShardGroup with the topology
+// partitioned by top-level zone (topology.PartitionByZone) and packet
+// forwarding through netsim.Cluster fan plans. The contract is
+// determinism across shard counts — DataConfig.Shards=1 and Shards=4
+// produce byte-identical DataResults for the same config and seed —
+// which the shard-matrix test pins against golden digests.
+//
+// Concurrency discipline mirrors the cluster's: each agent lives on
+// the shard owning its node and only ever runs there; per-shard
+// accumulators (collectors, completion records) are merged after the
+// run; everything that mutates cross-shard state (joins, source
+// start, fault events) goes through ShardGroup.Sync barriers.
+
+// shardSetup is the machinery common to both protocol families.
+type shardSetup struct {
+	spec     *topology.Spec
+	h        *scoping.Hierarchy
+	src      *simrand.Source
+	grp      *eventq.ShardGroup
+	cluster  *netsim.Cluster
+	owner    []int32
+	cols     []*stats.Collector
+	shards   int
+	perShard eventq.Duration // lookahead, for diagnostics
+}
+
+func newShardSetup(cfg *DataConfig, spec *topology.Spec) (*shardSetup, error) {
+	if cfg.Telemetry != nil {
+		return nil, fmt.Errorf("sharqfec: telemetry is not supported with Shards > 0 (run sharded for speed or instrumented for depth, not both)")
+	}
+	if cfg.TraceWriter != nil {
+		return nil, fmt.Errorf("sharqfec: packet traces are not supported with Shards > 0")
+	}
+	if cfg.RateControl != nil && cfg.RateControl.Mode == RateControlAdaptive {
+		return nil, fmt.Errorf("sharqfec: adaptive rate control is not supported with Shards > 0")
+	}
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("sharqfec: Shards = %d; want >= 1", cfg.Shards)
+	}
+	// Partition on the topology's NATIVE zone layout even when the
+	// protocol runs globalized (SRM, unscoped SHARQFEC variants):
+	// administrative flattening changes packet scoping, not the
+	// physical locality the partition exploits — and keeping the
+	// partition config-independent means every protocol family shares
+	// one owner map per (topology, shard count).
+	owner, lookahead := topology.PartitionByZone(spec.Graph, cfg.Topology.spec.Zones, cfg.Shards)
+	if lookahead <= 0 {
+		return nil, fmt.Errorf("sharqfec: topology %q has a zero-latency boundary link; cannot shard", spec.Name)
+	}
+	h, err := scoping.Build(spec.Zones)
+	if err != nil {
+		return nil, err
+	}
+	src := simrand.New(cfg.Seed)
+	grp := eventq.NewShardGroup(cfg.Shards, lookahead)
+	cluster, err := netsim.NewCluster(grp, spec.Graph, h, src, owner)
+	if err != nil {
+		return nil, err
+	}
+	cluster.SetQueueLimit(cfg.QueueLimit)
+	s := &shardSetup{
+		spec: spec, h: h, src: src, grp: grp, cluster: cluster,
+		owner: owner, shards: cfg.Shards, perShard: lookahead,
+	}
+	s.cols = make([]*stats.Collector, cfg.Shards)
+	for i := range s.cols {
+		s.cols[i] = stats.NewCollector(spec.Source, len(spec.Receivers), cfg.BinWidth)
+		n := cluster.Shard(i)
+		n.AddTap(s.cols[i].Tap())
+		n.AddSendTap(s.cols[i].SendTap())
+	}
+	return s, nil
+}
+
+// mergedCollector reduces the per-shard collectors into one.
+func (s *shardSetup) mergedCollector(binWidth float64) *stats.Collector {
+	col := stats.NewCollector(s.spec.Source, len(s.spec.Receivers), binWidth)
+	for _, c := range s.cols {
+		col.Merge(c)
+	}
+	return col
+}
+
+func (s *shardSetup) fillFaults(res *DataResult, eng *faults.Engine) {
+	res.FaultDrops = int(s.cluster.FaultDrops())
+	if eng == nil {
+		return
+	}
+	for _, a := range eng.Log() {
+		res.FaultLog = append(res.FaultLog, fmt.Sprintf("%s %s", a.At, a.Desc))
+	}
+}
+
+// startFaults wires a fault engine whose plan events fire inside sync
+// barriers (every shard quiescent), using shard 0's network view — its
+// mutators delegate cluster-wide.
+func (s *shardSetup) startFaults(cfg *DataConfig, onCrash, onRestart, onLeave func(now eventq.Time, node topology.NodeID)) (*faults.Engine, error) {
+	if cfg.Faults.Empty() {
+		return nil, nil
+	}
+	eng := faults.NewEngine(s.cluster.Shard(0), s.src, &cfg.Faults.plan)
+	eng.Schedule = func(at eventq.Time, fn func(now eventq.Time)) { s.grp.Sync(at, fn) }
+	eng.OnCrash = onCrash
+	eng.OnRestart = onRestart
+	eng.OnLeave = onLeave
+	if err := eng.Start(); err != nil {
+		return nil, err
+	}
+	return eng, nil
+}
+
+// compRec is one completed group at one receiver, recorded on the
+// receiver's shard and verified against the source after the run (the
+// source agent cannot be read safely mid-run from other shards).
+type compRec struct {
+	gid uint32
+	sum [sha256.Size]byte
+}
+
+// shardAcc is one shard's completion tally. Shards write only their
+// own entry; the barrier hand-off orders those writes before the
+// post-run reads.
+type shardAcc struct {
+	completions int
+	recs        []compRec
+}
+
+func payloadDigest(parts [][]byte) [sha256.Size]byte {
+	h := sha256.New()
+	for _, p := range parts {
+		var n [4]byte
+		n[0], n[1], n[2], n[3] = byte(len(p)), byte(len(p)>>8), byte(len(p)>>16), byte(len(p)>>24)
+		h.Write(n[:])
+		h.Write(p)
+	}
+	var out [sha256.Size]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+func runDataSharded(cfg DataConfig) (*DataResult, error) {
+	if cfg.Protocol == SRM {
+		return runSRMSharded(cfg)
+	}
+	opts, ok := cfg.Protocol.options()
+	if !ok {
+		return nil, fmt.Errorf("sharqfec: unknown protocol %q", cfg.Protocol)
+	}
+	spec := cfg.Topology.spec
+	if !opts.Scoping {
+		spec = globalized(spec)
+	}
+	spec = cloneForFaults(spec, cfg.Faults)
+	s, err := newShardSetup(&cfg, spec)
+	if err != nil {
+		return nil, err
+	}
+
+	pcfg := core.DefaultConfig()
+	pcfg.Source = spec.Source
+	pcfg.NumPackets = cfg.NumPackets
+	pcfg.Options = opts
+	if cfg.GroupK > 0 {
+		pcfg.GroupK = cfg.GroupK
+	}
+	pcfg.NewController = cfg.RateControl.factory(pcfg)
+
+	agents := make(map[topology.NodeID]*core.Agent, len(spec.Receivers)+1)
+	var sourceAgent *core.Agent
+	comps := make([]shardAcc, s.shards)
+	wire := func(ag *core.Agent, sh int32) {
+		acc := &comps[sh]
+		ag.OnComplete = func(_ eventq.Time, gid uint32, data [][]byte) {
+			acc.completions++
+			if cfg.SkipVerify {
+				return
+			}
+			acc.recs = append(acc.recs, compRec{gid: gid, sum: payloadDigest(data)})
+		}
+	}
+	for _, m := range spec.Members() {
+		ag, err := core.New(m, s.cluster.NetFor(m), pcfg, s.src)
+		if err != nil {
+			return nil, err
+		}
+		agents[m] = ag
+		if m == spec.Source {
+			sourceAgent = ag
+			continue
+		}
+		wire(ag, s.owner[m])
+	}
+
+	eng, err := s.startFaults(&cfg,
+		func(_ eventq.Time, node topology.NodeID) {
+			if ag, ok := agents[node]; ok {
+				ag.Stop()
+			}
+		},
+		func(_ eventq.Time, node topology.NodeID) {
+			if node == spec.Source {
+				return
+			}
+			ag, err := core.New(node, s.cluster.NetFor(node), pcfg, s.src)
+			if err != nil {
+				return
+			}
+			agents[node] = ag
+			wire(ag, s.owner[node])
+			ag.JoinLate()
+		},
+		func(_ eventq.Time, node topology.NodeID) {
+			if ag, ok := agents[node]; ok {
+				ag.Stop()
+			}
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	s.grp.Sync(secondsToTime(cfg.JoinAt), func(eventq.Time) {
+		for _, m := range spec.Members() {
+			agents[m].Join()
+		}
+	})
+	s.grp.Sync(secondsToTime(cfg.SourceOnAt), func(eventq.Time) { sourceAgent.StartSource() })
+	s.grp.Run(secondsToTime(cfg.Until))
+
+	// Post-run verification: compare every recorded completion against
+	// the source's payloads, now that no shard is running.
+	verified := true
+	completions := 0
+	if !cfg.SkipVerify {
+		want := make(map[uint32][sha256.Size]byte)
+		for _, acc := range comps {
+			for _, r := range acc.recs {
+				w, ok := want[r.gid]
+				if !ok {
+					w = payloadDigest(sourceAgent.SentGroup(r.gid))
+					want[r.gid] = w
+				}
+				if r.sum != w {
+					verified = false
+				}
+			}
+		}
+	}
+	for _, acc := range comps {
+		completions += acc.completions
+	}
+
+	res := &DataResult{
+		Protocol:  cfg.Protocol,
+		Topology:  spec.Name,
+		Receivers: len(spec.Receivers),
+		Verified:  verified && !cfg.SkipVerify,
+	}
+	fillSeries(res, s.mergedCollector(cfg.BinWidth))
+	for _, m := range spec.Members() {
+		ag := agents[m]
+		res.NACKsSent += ag.Stats.NACKsSent
+		res.RepairsSent += ag.Stats.RepairsSent
+		res.RepairsInjected += ag.Stats.RepairsInjected
+	}
+	expect := len(spec.Receivers) * pcfg.NumGroups()
+	res.CompletionRate = float64(completions) / float64(expect)
+	s.fillFaults(res, eng)
+	return res, nil
+}
+
+func runSRMSharded(cfg DataConfig) (*DataResult, error) {
+	spec := cloneForFaults(globalized(cfg.Topology.spec), cfg.Faults)
+	s, err := newShardSetup(&cfg, spec)
+	if err != nil {
+		return nil, err
+	}
+
+	pcfg := srm.DefaultConfig()
+	pcfg.Source = spec.Source
+	pcfg.NumPackets = cfg.NumPackets
+
+	agents := make(map[topology.NodeID]*srm.Agent, len(spec.Receivers)+1)
+	for _, m := range spec.Members() {
+		ag, err := srm.New(m, s.cluster.NetFor(m), pcfg, s.src)
+		if err != nil {
+			return nil, err
+		}
+		agents[m] = ag
+	}
+
+	eng, err := s.startFaults(&cfg,
+		func(_ eventq.Time, node topology.NodeID) {
+			if ag, ok := agents[node]; ok {
+				ag.Stop()
+			}
+		},
+		func(_ eventq.Time, node topology.NodeID) {
+			if node == spec.Source {
+				return
+			}
+			ag, err := srm.New(node, s.cluster.NetFor(node), pcfg, s.src)
+			if err != nil {
+				return
+			}
+			agents[node] = ag
+			ag.Join()
+		},
+		func(_ eventq.Time, node topology.NodeID) {
+			if ag, ok := agents[node]; ok {
+				ag.Stop()
+			}
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	s.grp.Sync(secondsToTime(cfg.JoinAt), func(eventq.Time) {
+		for _, m := range spec.Members() {
+			agents[m].Join()
+		}
+	})
+	s.grp.Sync(secondsToTime(cfg.SourceOnAt), func(eventq.Time) { agents[spec.Source].StartSource() })
+	s.grp.Run(secondsToTime(cfg.Until))
+
+	res := &DataResult{
+		Protocol:  cfg.Protocol,
+		Topology:  cfg.Topology.spec.Name,
+		Receivers: len(spec.Receivers),
+	}
+	fillSeries(res, s.mergedCollector(cfg.BinWidth))
+	// SRM verification and totals read agent state only after the run,
+	// so no mid-run cross-shard reads are needed at all.
+	held, verified := 0, true
+	srcAgent := agents[spec.Source]
+	for _, m := range spec.Receivers {
+		ag := agents[m]
+		res.NACKsSent += ag.Stats.RequestsSent
+		res.RepairsSent += ag.Stats.RepairsSent
+		held += ag.Held()
+		if !cfg.SkipVerify {
+			for seq := uint32(0); seq < uint32(cfg.NumPackets); seq += 13 {
+				got, ok := ag.Payload(seq)
+				want, _ := srcAgent.Payload(seq)
+				if ok && !bytes.Equal(got, want) {
+					verified = false
+				}
+			}
+		}
+	}
+	res.RepairsSent += srcAgent.Stats.RepairsSent
+	res.CompletionRate = float64(held) / float64(len(spec.Receivers)*cfg.NumPackets)
+	res.Verified = verified && !cfg.SkipVerify
+	s.fillFaults(res, eng)
+	return res, nil
+}

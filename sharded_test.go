@@ -1,0 +1,140 @@
+package sharqfec
+
+// Shard-count invariance gate for the zone-sharded parallel engine:
+// the same config and seed must yield byte-identical DataResults at
+// every shard count. The five cases mirror the sequential determinism
+// suite's coverage — plain SHARQFEC, SRM, ECSRM under Gilbert bursts,
+// a ZCR crash plan and a backbone flap plan (the chaos seeds are
+// expressed as RunData+FaultPlan here; RunChaos hard-wires telemetry,
+// which sharded runs reject). The K=1 digests are pinned: a drift
+// means the sharded family's results changed, breaking comparability
+// with recorded large-N experiments.
+
+import (
+	"fmt"
+	"os"
+	"testing"
+)
+
+var shardMatrixCases = []struct {
+	name   string
+	cfg    DataConfig
+	golden string
+}{
+	{
+		name:   "sharqfec-seed21",
+		cfg:    DataConfig{Protocol: SHARQFEC, Seed: 21},
+		golden: "951f9816c99dcb0e6a9972cb0f2b2a3d631d5a36bd27777fb4fa6fe66602c4fa",
+	},
+	{
+		name:   "srm-seed22",
+		cfg:    DataConfig{Protocol: SRM, Seed: 22, NumPackets: 512},
+		golden: "adb0b7e80c0cb7213d5b97e6bb1d242028b69fdfd0a6f6007d366b30b6713e5b",
+	},
+	{
+		name: "ecsrm-gilbert-seed5",
+		cfg: DataConfig{
+			Protocol: ECSRM, Seed: 5, NumPackets: 256, Until: 30,
+			Faults: BurstLossPlan(8),
+		},
+		golden: "2b5da0d48cb4e05cc61ab45efc03120e3f9064be8a2801e52bfe50f8eb689ef4",
+	},
+	{
+		name:   "sharqfec-crash-seed31",
+		cfg:    DataConfig{Protocol: SHARQFEC, Seed: 31, Faults: ZCRCrashPlan()},
+		golden: "a09b7d1279b96b86a61c2dfb0fc8c8a3b15117f27d712ffe22e92f86982ccfce",
+	},
+	{
+		name: "sharqfec-backbone-seed11",
+		cfg: DataConfig{
+			Protocol: SHARQFEC, Seed: 11, NumPackets: 512, Until: 60,
+			Faults: BackboneFlapPlan(),
+		},
+		golden: "6ab8c14e33968d4f275732a98d51bcc88513fe5186a1b6de6336e5a23dc3445a",
+	},
+}
+
+// TestShardCountInvarianceMatrix runs every case at 1, 2 and 4 shards
+// and requires all three digests to match the pinned golden.
+func TestShardCountInvarianceMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run digest suite")
+	}
+	for _, tc := range shardMatrixCases {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, k := range []int{1, 2, 4} {
+				cfg := tc.cfg
+				cfg.Shards = k
+				res, err := RunData(cfg)
+				if err != nil {
+					t.Fatalf("shards=%d: %v", k, err)
+				}
+				if got := dataDigest(res); got != tc.golden {
+					t.Errorf("shards=%d digest drifted:\n got  %s\n want %s", k, got, tc.golden)
+				}
+				if res.CompletionRate <= 0 {
+					t.Errorf("shards=%d: completion rate %v; the run did nothing", k, res.CompletionRate)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedRejectsUnsupportedConfigs pins the error surface: the
+// combinations the sharded engine cannot yet honor must fail loudly,
+// never silently fall back to sequential.
+func TestShardedRejectsUnsupportedConfigs(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  DataConfig
+	}{
+		{"telemetry", DataConfig{Protocol: SHARQFEC, Shards: 2, Telemetry: &TelemetryConfig{}}},
+		{"adaptive-ratecontrol", DataConfig{Protocol: SHARQFEC, Shards: 2,
+			RateControl: &RateControlConfig{Mode: RateControlAdaptive}}},
+		{"negative-shards", DataConfig{Protocol: SHARQFEC, Shards: -3}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := RunData(tc.cfg); err == nil {
+				t.Error("want an error, got success")
+			}
+		})
+	}
+}
+
+// TestShardedStaticRateControlMatchesOff mirrors the sequential seam
+// pin: static rate control must be a rename of off, sharded too.
+func TestShardedStaticRateControlMatchesOff(t *testing.T) {
+	run := func(rc *RateControlConfig) string {
+		t.Helper()
+		res, err := RunData(DataConfig{Protocol: SHARQFEC, Seed: 21, Shards: 2, RateControl: rc})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dataDigest(res)
+	}
+	if off, static := run(nil), run(&RateControlConfig{Mode: RateControlStatic}); off != static {
+		t.Errorf("sharded static rate control diverged from off:\n off    %s\n static %s", off, static)
+	}
+}
+
+// TestShardMatrixHarvest prints the current K=1 digests for re-pinning
+// after an intentional behavior change:
+//
+//	SHARD_HARVEST=1 go test -run TestShardMatrixHarvest -v
+//
+// It only prints; pins are updated by hand.
+func TestShardMatrixHarvest(t *testing.T) {
+	if os.Getenv("SHARD_HARVEST") == "" {
+		t.Skip("harvest helper; run with SHARD_HARVEST=1 and -v")
+	}
+	for _, tc := range shardMatrixCases {
+		cfg := tc.cfg
+		cfg.Shards = 1
+		res, err := RunData(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		fmt.Printf("HARVEST %s %s\n", tc.name, dataDigest(res))
+	}
+}

@@ -307,6 +307,8 @@ func censusCounters(epochs []census.EpochRow) []spans.CounterSample {
 					"repair_queue": float64(zs.RepairQueue),
 					"resident_kb":  float64(zs.ResidentBytes) / 1024,
 					"rtt_entries":  float64(zs.RTTEntries),
+					"mem_kb":       float64(zs.MemBytes) / 1024,
+					"b_per_rcvr":   zs.BytesPerReceiver(),
 				},
 			})
 		}
